@@ -1,0 +1,17 @@
+// Command cactigen regenerates Table 3: the access latencies, in cycles,
+// of every on-chip structure and functional-unit class at each clock
+// design point, derived from the analytical cacti timing model and the
+// Alpha 21264's operation latencies.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fmt.Print(experiments.RunTable3().Render())
+	fmt.Println()
+	fmt.Print(experiments.RunStructureSummary().Render())
+}

@@ -1,0 +1,51 @@
+// Command experiments runs the complete evaluation — every table and
+// figure — and prints the paper-vs-measured report that EXPERIMENTS.md
+// records.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", experiments.Full.Instructions, "instructions per benchmark")
+	latchStep := flag.Float64("latchstep", 2.0, "latch sweep granularity, ps")
+	skipCircuit := flag.Bool("nocircuit", false, "skip the (slow) circuit-level experiments")
+	flag.Parse()
+	o := experiments.Options{Instructions: *n}
+
+	fmt.Print(experiments.RunFigure1().Render())
+	fmt.Println()
+	if !*skipCircuit {
+		fmt.Print(experiments.RunTable1(*latchStep).Render())
+		fmt.Println()
+	}
+	fmt.Print(experiments.RunTable3().Render())
+	fmt.Println()
+	fmt.Print(experiments.RunFigure4a(o).Render())
+	fmt.Println()
+	fmt.Print(experiments.RunFigure4b(o).Render())
+	fmt.Println()
+	fmt.Print(experiments.RunFigure5(o).Render())
+	fmt.Println()
+	fmt.Print(experiments.RunFigure6(o).Render())
+	fmt.Println()
+	fmt.Print(experiments.RunFigure7(o).Render())
+	fmt.Println()
+	fmt.Print(experiments.RunFigure8(o).Render())
+	fmt.Println()
+	fmt.Print(experiments.RunFigure11(o).Render())
+	fmt.Println()
+	fmt.Print(experiments.RunSegmentedSelect(o).Render())
+	fmt.Println()
+	fmt.Print(experiments.RunCray1S(o).Render())
+	fmt.Println()
+	fmt.Print(experiments.RunWireStudy(o).Render())
+	fmt.Println()
+	fmt.Print(experiments.RunAblation(o).Render())
+	fmt.Println()
+	fmt.Print(experiments.RunHeadline(o).Render())
+}

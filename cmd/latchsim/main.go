@@ -1,0 +1,19 @@
+// Command latchsim runs the circuit-level experiments of Section 2 and
+// Appendix A: it measures the FO4 reference delay, the pulse-latch
+// overhead (Table 1's latch component) by sweeping the data edge toward
+// the falling clock edge until the latch fails, and the delay of the CMOS
+// equivalent of one Cray ECL gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	step := flag.Float64("step", 1.0, "data-edge sweep granularity in ps")
+	flag.Parse()
+	fmt.Print(experiments.RunTable1(*step).Render())
+}

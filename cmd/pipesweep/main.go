@@ -1,0 +1,38 @@
+// Command pipesweep runs the pipeline-depth sweeps of Section 4:
+// Figure 4a (in-order, no overhead), Figure 4b (in-order, 1.8 FO4
+// overhead), Figure 5 (out-of-order) and Figure 6 (overhead sensitivity).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", experiments.Full.Instructions, "instructions per benchmark")
+	which := flag.String("fig", "all", "figure to run: 4a, 4b, 5, 6 or all")
+	flag.Parse()
+	o := experiments.Options{Instructions: *n}
+
+	run := map[string]func(){
+		"4a": func() { fmt.Print(experiments.RunFigure4a(o).Render()) },
+		"4b": func() { fmt.Print(experiments.RunFigure4b(o).Render()) },
+		"5":  func() { fmt.Print(experiments.RunFigure5(o).Render()) },
+		"6":  func() { fmt.Print(experiments.RunFigure6(o).Render()) },
+	}
+	if *which == "all" {
+		for _, k := range []string{"4a", "4b", "5", "6"} {
+			run[k]()
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := run[*which]
+	if !ok {
+		fmt.Println("unknown figure; use 4a, 4b, 5, 6 or all")
+		return
+	}
+	f()
+}

@@ -1,0 +1,26 @@
+// Command segwin runs the instruction-window studies: Figure 8 (critical
+// loop sensitivity), Figure 11 (segmented wakeup pipelined 1..10 stages),
+// the Section 5.2 partitioned-selection design, and the Section 4.2
+// Cray-1S memory-system comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", experiments.Full.Instructions, "instructions per benchmark")
+	flag.Parse()
+	o := experiments.Options{Instructions: *n}
+
+	fmt.Print(experiments.RunFigure8(o).Render())
+	fmt.Println()
+	fmt.Print(experiments.RunFigure11(o).Render())
+	fmt.Println()
+	fmt.Print(experiments.RunSegmentedSelect(o).Render())
+	fmt.Println()
+	fmt.Print(experiments.RunCray1S(o).Render())
+}

@@ -1,0 +1,18 @@
+// Command structopt runs the Figure 7 experiment: at each clock design
+// point, search for the structure capacities (DL1, L2, issue queues) that
+// maximize performance — bigger structures are slower through the cacti
+// timing model — and compare against the fixed Alpha 21264 capacities.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", experiments.Full.Instructions, "instructions per benchmark")
+	flag.Parse()
+	fmt.Print(experiments.RunFigure7(experiments.Options{Instructions: *n}).Render())
+}

@@ -1,0 +1,20 @@
+// Command traceinfo prints the measured characteristics of the synthetic
+// SPEC 2000 workloads: instruction mix, dependency distances, branch
+// misprediction rate under the tournament predictor, and cache miss rates
+// under the 21264 hierarchy. It makes the workload substitution
+// transparent — these are the properties the calibration in
+// internal/trace/spec2000.go targets, and the bands the test suite pins.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 100000, "instructions per benchmark")
+	flag.Parse()
+	fmt.Print(experiments.RunWorkloadTable(*n, 1).Render())
+}

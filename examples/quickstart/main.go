@@ -1,0 +1,41 @@
+// Quickstart: build the paper's baseline machine, resolve it at the
+// optimal clock (6 FO4 useful + 1.8 FO4 overhead), run one synthetic SPEC
+// 2000 benchmark through the out-of-order pipeline simulator and print its
+// IPC and BIPS.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	prof, ok := repro.BenchmarkByName("176.gcc")
+	if !ok {
+		log.Fatal("benchmark 176.gcc not found")
+	}
+	tr := prof.Generate(100000, 1)
+
+	machine := repro.Alpha21264()
+	clock := repro.Clock{Useful: 6, Overhead: repro.PaperOverhead}
+	timing := machine.Resolve(clock)
+
+	stats := repro.Simulate(repro.SimParams{
+		Machine: machine,
+		Timing:  timing,
+		Warmup:  20000,
+	}, tr)
+
+	freq := clock.FrequencyHz(repro.Tech100nm)
+	fmt.Printf("machine: %s at %.2f GHz (clock period %.1f FO4 at 100nm)\n",
+		machine.Name, freq/1e9, clock.PeriodFO4())
+	fmt.Printf("benchmark: %s (%s)\n", tr.Name, tr.Group)
+	fmt.Printf("latencies: DL1 %d, L2 %d, memory %d, int-alu %d, window %d cycles\n",
+		timing.DL1, timing.L2, timing.Mem, timing.Exec[0], timing.Window)
+	fmt.Printf("IPC  = %.3f\n", stats.IPC)
+	fmt.Printf("BIPS = %.3f\n", stats.IPC*freq/1e9)
+	fmt.Printf("branch mispredict rate = %.1f%%\n",
+		100*float64(stats.BranchMispredict)/float64(stats.BranchLookups))
+}

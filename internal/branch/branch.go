@@ -1,0 +1,134 @@
+// Package branch implements the Alpha 21264's tournament branch predictor:
+// a local predictor (per-branch history indexing a table of 3-bit
+// counters), a global predictor (12 bits of path history indexing 2-bit
+// counters), and a choice predictor that learns which of the two to trust
+// for each global history. The pipeline simulators drive it with the
+// synthetic branch streams from internal/trace, so misprediction rates are
+// an emergent property of branch dynamics versus predictor structure, not
+// an input parameter.
+package branch
+
+// Table sizes of the 21264 predictor.
+const (
+	localHistEntries = 1024
+	localHistBits    = 10
+	localPredEntries = 1 << localHistBits
+	globalEntries    = 4096
+	globalHistBits   = 12
+	choiceEntries    = 4096
+)
+
+// Tournament is a 21264-style hybrid predictor.
+type Tournament struct {
+	localHist  [localHistEntries]uint16 // 10-bit per-branch histories
+	localPred  [localPredEntries]uint8  // 3-bit saturating counters
+	globalPred [globalEntries]uint8     // 2-bit saturating counters
+	choice     [choiceEntries]uint8     // 2-bit: high = trust global
+	ghist      uint32                   // global path history
+
+	// Statistics.
+	Lookups       uint64
+	Mispredicts   uint64
+	globalCorrect uint64
+	localCorrect  uint64
+}
+
+// New returns a predictor with weakly-initialized tables.
+func New() *Tournament {
+	t := &Tournament{}
+	for i := range t.localPred {
+		t.localPred[i] = 3 // weakly not-taken in 3-bit space
+	}
+	for i := range t.globalPred {
+		t.globalPred[i] = 1
+	}
+	for i := range t.choice {
+		t.choice[i] = 1 // weakly prefer local, as the 21264 boots
+	}
+	return t
+}
+
+func (t *Tournament) localIndex(pc uint32) int {
+	return int(pc>>2) & (localHistEntries - 1)
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (t *Tournament) Predict(pc uint32) bool {
+	li := t.localIndex(pc)
+	lp := t.localPred[t.localHist[li]&(localPredEntries-1)] >= 4
+	gi := int(t.ghist) & (globalEntries - 1)
+	gp := t.globalPred[gi] >= 2
+	if t.choice[int(t.ghist)&(choiceEntries-1)] >= 2 {
+		return gp
+	}
+	return lp
+}
+
+// Update trains the predictor with the branch's true outcome and returns
+// whether the prediction it would have made was correct. Callers that
+// already called Predict should pass its result via predicted to keep the
+// accounting exact.
+func (t *Tournament) Update(pc uint32, taken, predicted bool) {
+	t.Lookups++
+	if taken != predicted {
+		t.Mispredicts++
+	}
+
+	li := t.localIndex(pc)
+	lIdx := int(t.localHist[li]) & (localPredEntries - 1)
+	lp := t.localPred[lIdx] >= 4
+	gi := int(t.ghist) & (globalEntries - 1)
+	gp := t.globalPred[gi] >= 2
+	ci := int(t.ghist) & (choiceEntries - 1)
+
+	// Train the choice predictor toward whichever component was right.
+	if gp != lp {
+		if gp == taken {
+			if t.choice[ci] < 3 {
+				t.choice[ci]++
+			}
+			t.globalCorrect++
+		} else {
+			if t.choice[ci] > 0 {
+				t.choice[ci]--
+			}
+			t.localCorrect++
+		}
+	}
+
+	// Train the component counters.
+	if taken {
+		if t.localPred[lIdx] < 7 {
+			t.localPred[lIdx]++
+		}
+		if t.globalPred[gi] < 3 {
+			t.globalPred[gi]++
+		}
+	} else {
+		if t.localPred[lIdx] > 0 {
+			t.localPred[lIdx]--
+		}
+		if t.globalPred[gi] > 0 {
+			t.globalPred[gi]--
+		}
+	}
+
+	// Update histories.
+	t.localHist[li] = (t.localHist[li]<<1 | b2u16(taken)) & (localPredEntries - 1)
+	t.ghist = (t.ghist<<1 | uint32(b2u16(taken))) & (1<<globalHistBits - 1)
+}
+
+// MispredictRate returns the fraction of mispredicted lookups so far.
+func (t *Tournament) MispredictRate() float64 {
+	if t.Lookups == 0 {
+		return 0
+	}
+	return float64(t.Mispredicts) / float64(t.Lookups)
+}
+
+func b2u16(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,109 @@
+package cacti
+
+import "math"
+
+// Cacti 3.0 is an integrated timing, power and area model; the paper uses
+// only the timing side, but the area and energy estimates matter for the
+// Figure 7 capacity study's plausibility (a 64-entry issue window must not
+// be absurdly large) and for the wire-delay extension in internal/wire,
+// whose wire lengths derive from structure areas. The model below is a
+// standard technology-scaled estimate: cell areas in square microns at
+// 100nm, port-scaled, plus array efficiency overheads for decoders, sense
+// amplifiers and routing.
+
+// AreaModel holds the area/energy calibration constants at 100nm.
+type AreaModel struct {
+	// SRAMCellUm2 is the 6T SRAM cell area in µm² for a single-ported
+	// cell; each extra port roughly doubles cell area (word and bit wires
+	// in both dimensions).
+	SRAMCellUm2 float64
+	// CAMCellUm2 is the match-capable CAM cell area in µm².
+	CAMCellUm2 float64
+	// Efficiency is the fraction of array area occupied by cells (the
+	// rest is decoders, sense amps, drivers and routing).
+	Efficiency float64
+
+	// EnergyPerBitPJ is the dynamic read energy per accessed bit in pJ at
+	// 100nm/1.2V; wires and sense amps dominate, scaling with the square
+	// root of capacity.
+	EnergyPerBitPJ float64
+}
+
+// DefaultArea100nm is the calibrated area/energy model at 100nm. A 6T
+// cell at 100nm is ~1.2 µm²; a 64KB cache lands near 1.5 mm², matching
+// contemporary die photos.
+var DefaultArea100nm = AreaModel{
+	SRAMCellUm2:    1.2,
+	CAMCellUm2:     2.6,
+	Efficiency:     0.55,
+	EnergyPerBitPJ: 0.035,
+}
+
+// portAreaFactor scales cell area with port count: each additional port
+// adds a wordline and a bitline pair, growing the cell in both dimensions.
+func portAreaFactor(ports int) float64 {
+	if ports < 1 {
+		ports = 1
+	}
+	f := 0.5 + 0.5*float64(ports)
+	return f * f
+}
+
+// RAMAreaMm2 returns the estimated area of a RAM structure in mm².
+func (a AreaModel) RAMAreaMm2(c RAMConfig) float64 {
+	if c.Entries < 1 || c.Bits < 1 {
+		panic("cacti: RAM needs at least one entry and one bit")
+	}
+	bits := float64(c.Entries) * float64(c.Bits)
+	cell := a.SRAMCellUm2 * portAreaFactor(c.Ports)
+	return bits * cell / a.Efficiency / 1e6
+}
+
+// CacheAreaMm2 returns the estimated area of a cache (data + tag arrays).
+func (a AreaModel) CacheAreaMm2(c CacheConfig) float64 {
+	sets := c.Sets()
+	data := a.RAMAreaMm2(RAMConfig{Entries: sets, Bits: c.BlockBytes * 8 * c.Assoc, Ports: c.Ports})
+	tag := a.RAMAreaMm2(RAMConfig{Entries: sets, Bits: 28 * c.Assoc, Ports: c.Ports})
+	return data + tag
+}
+
+// CAMAreaMm2 returns the estimated area of a CAM structure (the issue
+// window): match-capable tag cells plus a payload RAM per entry.
+func (a AreaModel) CAMAreaMm2(c CAMConfig, payloadBits int) float64 {
+	if c.Entries < 1 || c.TagBits < 1 {
+		panic("cacti: CAM needs entries and tag bits")
+	}
+	pf := portAreaFactor(c.BroadcastPorts)
+	tag := float64(c.Entries) * float64(2*c.TagBits) * a.CAMCellUm2 * pf
+	payload := float64(c.Entries) * float64(payloadBits) * a.SRAMCellUm2 * pf
+	return (tag + payload) / a.Efficiency / 1e6
+}
+
+// SideMm returns the side length in mm of a square block with the given
+// area — the wire-length scale used by the wire-delay model.
+func SideMm(areaMm2 float64) float64 { return math.Sqrt(areaMm2) }
+
+// RAMReadEnergyPJ estimates the dynamic energy of one read access in pJ.
+func (a AreaModel) RAMReadEnergyPJ(c RAMConfig) float64 {
+	// One row of bits is read; wire energy grows with array size.
+	rowBits := float64(c.Bits)
+	sizeFactor := math.Sqrt(float64(c.Entries*c.Bits) / (1 << 10))
+	return a.EnergyPerBitPJ * rowBits * (1 + 0.15*sizeFactor)
+}
+
+// CacheReadEnergyPJ estimates the dynamic energy of one cache read in pJ:
+// all ways of one set plus the tag match.
+func (a AreaModel) CacheReadEnergyPJ(c CacheConfig) float64 {
+	data := a.RAMReadEnergyPJ(RAMConfig{Entries: c.Sets(), Bits: c.BlockBytes * 8 * c.Assoc, Ports: c.Ports})
+	tag := a.RAMReadEnergyPJ(RAMConfig{Entries: c.Sets(), Bits: 28 * c.Assoc, Ports: c.Ports})
+	return data + tag
+}
+
+// CAMSearchEnergyPJ estimates the energy of one wakeup broadcast in pJ:
+// every entry's comparators switch on every search — the reason a large
+// single-segment window is a power problem as well as a latency one
+// (Section 5's motivation from the energy side).
+func (a AreaModel) CAMSearchEnergyPJ(c CAMConfig) float64 {
+	return a.EnergyPerBitPJ * 2 * float64(c.Entries) * float64(c.TagBits) *
+		float64(c.BroadcastPorts)
+}

@@ -1,0 +1,100 @@
+package cacti
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheAreaPlausible(t *testing.T) {
+	a := DefaultArea100nm
+	// A 64KB 2-way cache at 100nm is on the order of 1-3 mm².
+	got := a.CacheAreaMm2(CacheConfig{CapacityBytes: 64 << 10, BlockBytes: 64, Assoc: 2, Ports: 2})
+	if got < 0.5 || got > 6 {
+		t.Errorf("64KB cache area = %.2f mm², implausible", got)
+	}
+	// A 2MB L2 is tens of mm² — a large fraction of a 100nm die.
+	l2 := a.CacheAreaMm2(CacheConfig{CapacityBytes: 2 << 20, BlockBytes: 64, Assoc: 2, Ports: 1})
+	if l2 < 10 || l2 > 80 {
+		t.Errorf("2MB cache area = %.2f mm², implausible", l2)
+	}
+}
+
+func TestRegisterFileAreaDominatedByPorts(t *testing.T) {
+	a := DefaultArea100nm
+	few := a.RAMAreaMm2(RAMConfig{Entries: 512, Bits: 64, Ports: 2})
+	many := a.RAMAreaMm2(RAMConfig{Entries: 512, Bits: 64, Ports: 12})
+	// Port factor is quadratic: 12 ports vs 2 ports is (6.5/1.5)² ≈ 19x.
+	if ratio := many / few; ratio < 10 || ratio > 30 {
+		t.Errorf("12-port/2-port area ratio = %.1f, want ~19", ratio)
+	}
+}
+
+func TestAreaMonotonicProperties(t *testing.T) {
+	a := DefaultArea100nm
+	f := func(eRaw, bRaw, pRaw uint8) bool {
+		e := 8 + int(eRaw)%512
+		bits := 4 + int(bRaw)%128
+		p := 1 + int(pRaw)%12
+		base := a.RAMAreaMm2(RAMConfig{Entries: e, Bits: bits, Ports: p})
+		return base > 0 &&
+			a.RAMAreaMm2(RAMConfig{Entries: 2 * e, Bits: bits, Ports: p}) > base &&
+			a.RAMAreaMm2(RAMConfig{Entries: e, Bits: 2 * bits, Ports: p}) > base &&
+			a.RAMAreaMm2(RAMConfig{Entries: e, Bits: bits, Ports: p + 1}) > base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCAMAreaAndEnergyGrowWithEntries(t *testing.T) {
+	a := DefaultArea100nm
+	small := CAMConfig{Entries: 20, TagBits: 9, BroadcastPorts: 4}
+	big := CAMConfig{Entries: 64, TagBits: 9, BroadcastPorts: 4}
+	if a.CAMAreaMm2(big, 40) <= a.CAMAreaMm2(small, 40) {
+		t.Error("bigger CAM not larger")
+	}
+	if a.CAMSearchEnergyPJ(big) <= a.CAMSearchEnergyPJ(small) {
+		t.Error("bigger CAM search not more energetic")
+	}
+	// The energy motivation for segmentation: search energy is linear in
+	// entries, so a 64-entry window burns 3.2x a 20-entry one per cycle.
+	ratio := a.CAMSearchEnergyPJ(big) / a.CAMSearchEnergyPJ(small)
+	if ratio < 3.1 || ratio > 3.3 {
+		t.Errorf("CAM energy ratio = %.2f, want 64/20 = 3.2", ratio)
+	}
+}
+
+func TestCacheEnergyScalesSublinearly(t *testing.T) {
+	a := DefaultArea100nm
+	e64 := a.CacheReadEnergyPJ(CacheConfig{CapacityBytes: 64 << 10, BlockBytes: 64, Assoc: 2, Ports: 1})
+	e256 := a.CacheReadEnergyPJ(CacheConfig{CapacityBytes: 256 << 10, BlockBytes: 64, Assoc: 2, Ports: 1})
+	if e256 <= e64 {
+		t.Error("bigger cache not more energetic per read")
+	}
+	if e256 > 4*e64 {
+		t.Errorf("4x capacity quadrupled read energy (%.1f → %.1f pJ); should be sublinear", e64, e256)
+	}
+}
+
+func TestSideMm(t *testing.T) {
+	if got := SideMm(4.0); got != 2.0 {
+		t.Errorf("SideMm(4) = %v, want 2", got)
+	}
+}
+
+func TestAreaPanicsOnInvalid(t *testing.T) {
+	a := DefaultArea100nm
+	for name, fn := range map[string]func(){
+		"ram": func() { a.RAMAreaMm2(RAMConfig{}) },
+		"cam": func() { a.CAMAreaMm2(CAMConfig{}, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

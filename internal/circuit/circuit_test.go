@@ -1,0 +1,245 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRCCharging(t *testing.T) {
+	// A step through R into C charges as v = V(1 - e^{-t/RC}).
+	c := New(Params100nm)
+	src := c.Node("src")
+	out := c.Node("out")
+	c.V(src, Step(0, 1.0, 10, 0.1))
+	c.R(src, out, 10) // 10 kΩ
+	c.C(out, Gnd, 10) // 10 fF → τ = 100 ps
+	res := c.Simulate(600, 0.05)
+
+	for _, tc := range []struct{ t, want float64 }{
+		{110, 1 - math.Exp(-1)},
+		{210, 1 - math.Exp(-2)},
+		{510, 1 - math.Exp(-5)},
+	} {
+		got := res.Voltage(out, tc.t)
+		if math.Abs(got-tc.want) > 0.01 {
+			t.Errorf("v(%gps) = %.4f, want %.4f", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestResistorDivider(t *testing.T) {
+	// DC divider settles to V·R2/(R1+R2).
+	c := New(Params100nm)
+	src := c.Node("src")
+	mid := c.Node("mid")
+	c.V(src, DC(1.2))
+	c.R(src, mid, 10)
+	c.R(mid, Gnd, 30)
+	c.C(mid, Gnd, 1) // small cap so the node has dynamics
+	res := c.Simulate(200, 0.1)
+	if got, want := res.FinalVoltage(mid), 0.9; math.Abs(got-want) > 1e-3 {
+		t.Errorf("divider = %v, want %v", got, want)
+	}
+}
+
+func TestInverterStatic(t *testing.T) {
+	// With a DC low input the inverter output settles to VDD; with a DC
+	// high input it settles to ~0.
+	for _, tc := range []struct {
+		in   float64
+		want float64
+	}{
+		{0, Params100nm.VDD},
+		{Params100nm.VDD, 0},
+	} {
+		c := New(Params100nm)
+		vdd := c.VDDNode()
+		in := c.Node("in")
+		out := c.Node("out")
+		c.V(in, DC(tc.in))
+		c.Inverter(vdd, in, out, 1)
+		res := c.Simulate(500, 0.1)
+		if got := res.FinalVoltage(out); math.Abs(got-tc.want) > 0.05 {
+			t.Errorf("inverter(%gV) settled at %.3fV, want %.3fV", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestInverterChainInvertsAndDelays(t *testing.T) {
+	// Through two inverters the signal is restored to the same polarity and
+	// arrives strictly later.
+	c := New(Params100nm)
+	vdd := c.VDDNode()
+	in := c.Node("in")
+	c.V(in, Step(0, Params100nm.VDD, 50, 10))
+	out, nodes := c.InverterChain(vdd, in, 2, 1, "ch")
+	c.FanoutLoad(vdd, out, 4, 1)
+	res := c.Simulate(400, 0.05)
+
+	half := Params100nm.VDD / 2
+	tIn, ok := res.CrossTime(in, half, true, 0)
+	if !ok {
+		t.Fatal("input never rose")
+	}
+	tMid, ok := res.CrossTime(nodes[0], half, false, tIn)
+	if !ok {
+		t.Fatal("first stage never fell")
+	}
+	tOut, ok := res.CrossTime(out, half, true, tMid)
+	if !ok {
+		t.Fatal("second stage never rose")
+	}
+	if !(tIn < tMid && tMid < tOut) {
+		t.Errorf("causality violated: in %.2f, mid %.2f, out %.2f", tIn, tMid, tOut)
+	}
+}
+
+func TestNANDTruthTable(t *testing.T) {
+	vddV := Params100nm.VDD
+	cases := []struct {
+		a, b float64
+		want float64
+	}{
+		{0, 0, vddV},
+		{0, vddV, vddV},
+		{vddV, 0, vddV},
+		{vddV, vddV, 0},
+	}
+	for _, tc := range cases {
+		c := New(Params100nm)
+		vdd := c.VDDNode()
+		a := c.Node("a")
+		b := c.Node("b")
+		out := c.Node("out")
+		c.V(a, DC(tc.a))
+		c.V(b, DC(tc.b))
+		c.NAND(vdd, out, []Node{a, b}, 1)
+		res := c.Simulate(500, 0.1)
+		if got := res.FinalVoltage(out); math.Abs(got-tc.want) > 0.08 {
+			t.Errorf("NAND(%g,%g) = %.3f, want %.3f", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPWLWaveform(t *testing.T) {
+	w := PWL{{0, 0}, {10, 1}, {20, 1}, {30, 0}}
+	cases := []struct{ t, want float64 }{
+		{-5, 0}, {0, 0}, {5, 0.5}, {10, 1}, {15, 1}, {25, 0.5}, {40, 0},
+	}
+	for _, tc := range cases {
+		if got := w.At(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("PWL.At(%g) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestClockWaveformShape(t *testing.T) {
+	spec := ClockSpec{Period: 100, High: 40, Edge: 5, VDD: 1.2, Start: 20}
+	w := Clock(spec, 400)
+	// High in the middle of each pulse, low between pulses.
+	for _, tc := range []struct{ t, want float64 }{
+		{10, 0}, {45, 1.2}, {80, 0}, {145, 1.2}, {180, 0},
+	} {
+		if got := w.At(tc.t); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("clock at %gps = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestSolverAgainstKnownSystem(t *testing.T) {
+	// 3x3 with known solution x = (1, -2, 3).
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{2*1 + 1*-2 - 1*3, -3*1 - 1*-2 + 2*3, -2*1 + 1*-2 + 2*3}
+	x := make([]float64, 3)
+	if err := solveInPlace(a, b, x); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -2, 3}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolverPropertyRandomSPD(t *testing.T) {
+	// Property: for random diagonally dominant systems, solving then
+	// multiplying back recovers the RHS.
+	f := func(seed int64) bool {
+		rng := seed
+		next := func() float64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return float64(rng%1000) / 500.0
+		}
+		const n = 5
+		a := make([][]float64, n)
+		orig := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			orig[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = next()
+			}
+			a[i][i] += 10 // dominance
+			copy(orig[i], a[i])
+		}
+		b := make([]float64, n)
+		origB := make([]float64, n)
+		for i := range b {
+			b[i] = next()
+		}
+		copy(origB, b)
+		x := make([]float64, n)
+		if err := solveInPlace(a, b, x); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += orig[i][j] * x[j]
+			}
+			if math.Abs(sum-origB[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolverSingular(t *testing.T) {
+	a := [][]float64{{1, 1}, {1, 1}}
+	b := []float64{1, 2}
+	x := make([]float64, 2)
+	if err := solveInPlace(a, b, x); err == nil {
+		t.Error("expected error for singular system")
+	}
+}
+
+func TestPanicsOnBadDevices(t *testing.T) {
+	c := New(Params100nm)
+	n := c.Node("n")
+	for name, fn := range map[string]func(){
+		"zero R":       func() { c.R(n, Gnd, 0) },
+		"zero C":       func() { c.C(n, Gnd, 0) },
+		"zero width":   func() { c.NMOS(n, n, Gnd, 0) },
+		"src on gnd":   func() { c.V(Gnd, DC(1)) },
+		"bad timestep": func() { c.Simulate(1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,104 @@
+package circuit
+
+// Standard-cell construction helpers. Every cell takes the supply node
+// (from VDDNode) explicitly so test benches can share one supply. Cell
+// "size" multiplies all transistor widths; size 1 is the unit inverter
+// (NMOS width 1, PMOS width 2 to balance the mobility difference).
+
+// Inverter adds a CMOS inverter of the given size driving out from in.
+func (c *Circuit) Inverter(vdd, in, out Node, size float64) {
+	c.NMOS(in, out, Gnd, size)
+	c.PMOS(in, out, vdd, 2*size)
+}
+
+// InverterChain adds n unit-size inverters in series from in, returning the
+// final output node and the list of intermediate nodes (including the
+// output). The paper's latch testbench buffers the clock and data inputs
+// through a series of six inverters to model realistic on-chip edges.
+func (c *Circuit) InverterChain(vdd, in Node, n int, size float64, name string) (Node, []Node) {
+	cur := in
+	nodes := make([]Node, 0, n)
+	for i := 0; i < n; i++ {
+		next := c.Node(name + "_" + string(rune('a'+i)))
+		c.Inverter(vdd, cur, next, size)
+		cur = next
+		nodes = append(nodes, next)
+	}
+	return cur, nodes
+}
+
+// FanoutLoad attaches count unit-size inverter input loads to node n. The
+// inverter outputs are left dangling on private nodes, exactly like the
+// measurement fan-out in an FO4 test structure.
+func (c *Circuit) FanoutLoad(vdd, n Node, count int, size float64) {
+	for i := 0; i < count; i++ {
+		dummy := c.Node("load")
+		c.Inverter(vdd, n, dummy, size)
+	}
+}
+
+// NAND adds an n-input NAND gate: a series NMOS stack to ground and
+// parallel PMOS pull-ups. The series stack's transistors are widened by the
+// number of inputs to keep the worst-case pull-down comparable to the unit
+// inverter, the usual sizing discipline.
+func (c *Circuit) NAND(vdd, out Node, ins []Node, size float64) {
+	if len(ins) == 0 {
+		panic("circuit: NAND needs at least one input")
+	}
+	// Series NMOS stack from out to ground through internal nodes. The
+	// stack uses raw devices with explicit parasitics: in layout, adjacent
+	// series transistors share a single diffusion region, so each internal
+	// node carries one diffusion capacitance, not two.
+	stackW := size * float64(len(ins))
+	prev := out
+	for i, in := range ins {
+		var next Node
+		if i == len(ins)-1 {
+			next = Gnd
+		} else {
+			next = c.Node("nand_stack")
+		}
+		c.NMOSRaw(in, prev, next, stackW)
+		c.C(in, Gnd, c.Params.CGate*stackW)
+		if next != Gnd {
+			c.C(next, Gnd, c.Params.CDiff*stackW)
+		}
+		prev = next
+	}
+	// Parallel PMOS pull-ups, drains merged pairwise on the output node.
+	for _, in := range ins {
+		c.PMOSRaw(in, out, vdd, 2*size)
+		c.C(in, Gnd, c.Params.CGate*2*size)
+	}
+	pmosDrainPairs := float64((len(ins) + 1) / 2)
+	c.C(out, Gnd, c.Params.CDiff*(stackW+2*size*pmosDrainPairs))
+}
+
+// TransmissionGate adds a CMOS pass gate between a and b, on when ctl is
+// high (and ctlBar low).
+func (c *Circuit) TransmissionGate(a, b, ctl, ctlBar Node, size float64) {
+	c.NMOS(ctl, a, b, size)
+	c.PMOS(ctlBar, a, b, 2*size)
+}
+
+// PulseLatch adds the paper's level-sensitive pulse latch (Figure 2a):
+// a transmission gate from d to an internal storage node, an inverter to
+// the output q, and a clocked feedback path (tri-state inverter from q back
+// to the storage node, enabled while the clock is low) that holds the
+// sampled value. Returns the internal storage node and the output q.
+func (c *Circuit) PulseLatch(vdd, d, clk, clkBar Node, size float64) (store, q Node) {
+	store = c.Node("latch_store")
+	q = c.Node("latch_q")
+	c.TransmissionGate(d, store, clk, clkBar, size)
+	c.Inverter(vdd, store, q, size)
+	// Feedback: inverting path from q to store, active while clk is low.
+	// Implemented as a weak tri-state inverter (clocked series devices).
+	fbw := size * 0.5
+	mid1 := c.Node("latch_fb_n")
+	mid2 := c.Node("latch_fb_p")
+	c.NMOS(q, mid1, Gnd, fbw)
+	c.NMOS(clkBar, store, mid1, fbw)
+	c.PMOS(q, mid2, vdd, 2*fbw)
+	c.PMOS(clk, store, mid2, 2*fbw)
+	return store, q
+}

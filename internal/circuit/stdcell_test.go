@@ -1,0 +1,138 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransmissionGateConducts(t *testing.T) {
+	// On: the output follows the driver through the pass gate.
+	c := New(Params100nm)
+	in := c.Node("in")
+	out := c.Node("out")
+	ctl := c.Node("ctl")
+	ctlBar := c.Node("ctlbar")
+	c.V(in, DC(1.0))
+	c.V(ctl, DC(Params100nm.VDD))
+	c.V(ctlBar, DC(0))
+	c.TransmissionGate(in, out, ctl, ctlBar, 1)
+	res := c.Simulate(500, 0.1)
+	if got := res.FinalVoltage(out); math.Abs(got-1.0) > 0.05 {
+		t.Errorf("on-gate output = %.3f V, want ~1.0", got)
+	}
+}
+
+func TestTransmissionGateBlocks(t *testing.T) {
+	// Off: the output keeps (approximately) its initial value.
+	c := New(Params100nm)
+	in := c.Node("in")
+	out := c.Node("out")
+	ctl := c.Node("ctl")
+	ctlBar := c.Node("ctlbar")
+	c.V(in, DC(1.2))
+	c.V(ctl, DC(0))
+	c.V(ctlBar, DC(1.2))
+	c.TransmissionGate(in, out, ctl, ctlBar, 1)
+	res := c.Simulate(500, 0.1)
+	if got := res.FinalVoltage(out); got > 0.3 {
+		t.Errorf("off-gate output = %.3f V, want near 0 (leakage only)", got)
+	}
+}
+
+func TestNAND4WithTiedInputs(t *testing.T) {
+	// A NAND4 with three inputs tied high inverts the fourth — the
+	// Appendix A testbench's configuration.
+	for _, inV := range []float64{0, Params100nm.VDD} {
+		c := New(Params100nm)
+		vdd := c.VDDNode()
+		in := c.Node("in")
+		out := c.Node("out")
+		c.V(in, DC(inV))
+		c.NAND(vdd, out, []Node{in, vdd, vdd, vdd}, 1)
+		res := c.Simulate(600, 0.1)
+		want := Params100nm.VDD
+		if inV > 0.6 {
+			want = 0
+		}
+		if got := res.FinalVoltage(out); math.Abs(got-want) > 0.1 {
+			t.Errorf("NAND4(%g,1,1,1) = %.3f, want %.3f", inV, got, want)
+		}
+	}
+}
+
+func TestPulseLatchTransparentWhileClockHigh(t *testing.T) {
+	// While the clock is held high the latch is transparent: Q tracks
+	// NOT(D) after a propagation delay.
+	c := New(Params100nm)
+	vdd := c.VDDNode()
+	d := c.Node("d")
+	clk := c.Node("clk")
+	clkBar := c.Node("clkbar")
+	c.V(clk, DC(Params100nm.VDD))
+	c.V(clkBar, DC(0))
+	c.V(d, Step(0, Params100nm.VDD, 300, 15))
+	_, q := c.PulseLatch(vdd, d, clk, clkBar, 1)
+	res := c.SimulateSettled(800, 700, 0.1)
+	if got := res.Voltage(q, 250); got < 0.9*Params100nm.VDD {
+		t.Errorf("transparent latch Q before D rise = %.2f, want high", got)
+	}
+	if got := res.FinalVoltage(q); got > 0.1*Params100nm.VDD {
+		t.Errorf("transparent latch Q after D rise = %.2f, want low", got)
+	}
+}
+
+func TestSimulateSettledReachesDC(t *testing.T) {
+	// After settling, a three-inverter ring... no — a chain's internal
+	// nodes must be at their DC values at t=0 rather than 0 V.
+	c := New(Params100nm)
+	vdd := c.VDDNode()
+	in := c.Node("in")
+	c.V(in, DC(0))
+	out, nodes := c.InverterChain(vdd, in, 3, 1, "ch")
+	res := c.SimulateSettled(800, 100, 0.1)
+	// in=0 → n1 high, n2 low, n3 high.
+	if v := res.V[nodes[0]][0]; v < 1.0 {
+		t.Errorf("first node starts at %.2f V, want settled high", v)
+	}
+	if v := res.V[nodes[1]][0]; v > 0.2 {
+		t.Errorf("second node starts at %.2f V, want settled low", v)
+	}
+	if v := res.V[out][0]; v < 1.0 {
+		t.Errorf("output starts at %.2f V, want settled high", v)
+	}
+}
+
+func TestVoltageInterpolation(t *testing.T) {
+	c := New(Params100nm)
+	n := c.Node("n")
+	c.V(n, PWL{{T: 0, V: 0}, {T: 100, V: 1}})
+	res := c.Simulate(100, 1)
+	mid := res.Voltage(n, 50)
+	if math.Abs(mid-0.5) > 0.05 {
+		t.Errorf("interpolated midpoint = %.3f, want ~0.5", mid)
+	}
+	if got := res.Voltage(n, -10); got != res.V[n][0] {
+		t.Error("pre-start voltage not clamped")
+	}
+	if got := res.Voltage(n, 1e9); got != res.FinalVoltage(n) {
+		t.Error("post-end voltage not clamped")
+	}
+}
+
+func TestCrossTimeDirections(t *testing.T) {
+	c := New(Params100nm)
+	n := c.Node("n")
+	c.V(n, PWL{{T: 0, V: 0}, {T: 50, V: 1.2}, {T: 100, V: 1.2}, {T: 150, V: 0}})
+	res := c.Simulate(200, 0.5)
+	up, ok := res.CrossTime(n, 0.6, true, 0)
+	if !ok || math.Abs(up-25) > 2 {
+		t.Errorf("rising crossing at %.1f, want ~25", up)
+	}
+	down, ok := res.CrossTime(n, 0.6, false, up)
+	if !ok || math.Abs(down-125) > 2 {
+		t.Errorf("falling crossing at %.1f, want ~125", down)
+	}
+	if _, ok := res.CrossTime(n, 0.6, true, down); ok {
+		t.Error("found a second rising crossing that does not exist")
+	}
+}

@@ -1,0 +1,76 @@
+package circuit
+
+import "sort"
+
+// Waveform describes a voltage as a function of time for ideal sources.
+type Waveform interface {
+	// At returns the source voltage at time t picoseconds.
+	At(t float64) float64
+}
+
+// dcWave is a constant voltage.
+type dcWave float64
+
+func (w dcWave) At(float64) float64 { return float64(w) }
+
+// DC returns a constant-voltage waveform.
+func DC(v float64) Waveform { return dcWave(v) }
+
+// PWLPoint is one (time, voltage) breakpoint of a piecewise-linear waveform.
+type PWLPoint struct {
+	T float64 // ps
+	V float64 // volts
+}
+
+// PWL is a piecewise-linear waveform. Before the first point it holds the
+// first voltage; after the last point it holds the last voltage.
+type PWL []PWLPoint
+
+// At returns the linearly interpolated voltage at time t.
+func (w PWL) At(t float64) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	if t <= w[0].T {
+		return w[0].V
+	}
+	last := w[len(w)-1]
+	if t >= last.T {
+		return last.V
+	}
+	i := sort.Search(len(w), func(i int) bool { return w[i].T > t })
+	a, b := w[i-1], w[i]
+	frac := (t - a.T) / (b.T - a.T)
+	return a.V + frac*(b.V-a.V)
+}
+
+// Step returns a waveform that transitions from v0 to v1 starting at time
+// t0, with the given rise/fall time (a finite edge keeps the integrator
+// well-behaved and mimics a realistically buffered signal).
+func Step(v0, v1, t0, edge float64) Waveform {
+	return PWL{{0, v0}, {t0, v0}, {t0 + edge, v1}}
+}
+
+// ClockSpec describes a repetitive clock for pulse-latch experiments.
+type ClockSpec struct {
+	Period float64 // ps
+	High   float64 // ps the clock spends high each period (pulse width)
+	Edge   float64 // rise/fall time, ps
+	VDD    float64 // swing, volts
+	Start  float64 // time of the first rising edge, ps
+}
+
+// Clock builds a piecewise-linear clock waveform covering [0, stop]. The
+// clock is low before Start.
+func Clock(spec ClockSpec, stop float64) Waveform {
+	w := PWL{{0, 0}}
+	for t := spec.Start; t < stop; t += spec.Period {
+		w = append(w,
+			PWLPoint{t, 0},
+			PWLPoint{t + spec.Edge, spec.VDD},
+			PWLPoint{t + spec.High, spec.VDD},
+			PWLPoint{t + spec.High + spec.Edge, 0},
+		)
+	}
+	return w
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// Loop identifies one of the critical loops of Section 4.6 / Figure 8.
+type Loop uint8
+
+const (
+	// IssueWakeup is the loop from issuing an instruction to waking its
+	// dependents — the most performance-critical loop.
+	IssueWakeup Loop = iota
+	// LoadUse is the loop from issuing a load to delivering its value
+	// (the DL1 access time).
+	LoadUse
+	// BranchMispredict is the loop from predicting a branch to resolving
+	// the correct path.
+	BranchMispredict
+)
+
+func (l Loop) String() string {
+	switch l {
+	case IssueWakeup:
+		return "issue-wakeup"
+	case LoadUse:
+		return "load-use"
+	default:
+		return "branch-mispredict"
+	}
+}
+
+// LoopPoint is one x-position of Figure 8: the loop extended by Extra
+// cycles over its Alpha 21264 length, with the resulting IPC relative to
+// the unmodified machine.
+type LoopPoint struct {
+	Extra       int
+	RelativeIPC map[trace.Group]float64
+	RelativeAll float64
+}
+
+// LoopSweep is the Figure 8 result for one critical loop.
+type LoopSweep struct {
+	Loop   Loop
+	Points []LoopPoint
+}
+
+// CriticalLoopSensitivity reproduces Figure 8: run the out-of-order
+// machine at the Alpha 21264's own latencies and stretch each critical
+// loop independently by 0..maxExtra cycles, reporting IPC relative to the
+// unstretched machine. Integer benchmarks are the paper's focus; per-group
+// series are returned so the FP trends can be examined too.
+func CriticalLoopSensitivity(cfg SweepConfig, maxExtra int) []LoopSweep {
+	cfg.fill()
+	traces := make([]*trace.Trace, len(cfg.Benchmarks))
+	for i, b := range cfg.Benchmarks {
+		traces[i] = b.Generate(cfg.Instructions, cfg.Seed)
+	}
+	timing := config.Alpha21264Timing()
+
+	run := func(mod func(*pipeline.Params)) (map[trace.Group]float64, float64) {
+		groups := map[trace.Group][]float64{}
+		var all []float64
+		for _, tr := range traces {
+			p := pipeline.Params{Machine: cfg.Machine, Timing: timing, Warmup: cfg.Warmup}
+			if mod != nil {
+				mod(&p)
+			}
+			s := pipeline.Run(p, tr)
+			groups[tr.Group] = append(groups[tr.Group], s.IPC)
+			all = append(all, s.IPC)
+		}
+		out := map[trace.Group]float64{}
+		for g, xs := range groups {
+			out[g] = metrics.HarmonicMean(xs)
+		}
+		return out, metrics.HarmonicMean(all)
+	}
+
+	baseGroups, baseAll := run(nil)
+
+	var sweeps []LoopSweep
+	for _, loop := range []Loop{IssueWakeup, LoadUse, BranchMispredict} {
+		sw := LoopSweep{Loop: loop}
+		for extra := 0; extra <= maxExtra; extra++ {
+			e := extra
+			g, all := run(func(p *pipeline.Params) {
+				switch loop {
+				case IssueWakeup:
+					p.ExtraWakeup = e
+				case LoadUse:
+					p.ExtraLoadUse = e
+				case BranchMispredict:
+					p.ExtraMispredict = e
+				}
+			})
+			pt := LoopPoint{Extra: extra, RelativeIPC: map[trace.Group]float64{}}
+			for grp, v := range g {
+				pt.RelativeIPC[grp] = v / baseGroups[grp]
+			}
+			pt.RelativeAll = all / baseAll
+			sw.Points = append(sw.Points, pt)
+		}
+		sweeps = append(sweeps, sw)
+	}
+	return sweeps
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/fo4"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// This file implements the sensitivity-curve methodology of Section 4.5:
+// "we determined the sensitivity of IPC to the size and delay of each
+// individual structure. We performed experiments independent of technology
+// and clock frequency by varying the latency of each structure
+// individually, while keeping its capacity unchanged" — and likewise for
+// capacity at fixed latency. Figure 7's capacity optimizer consumes the
+// same trade these curves expose; this API makes the curves themselves
+// available, as the paper's §4.5 describes building them.
+
+// Structure identifies one latency-variable structure.
+type Structure uint8
+
+const (
+	StructDL1 Structure = iota
+	StructL2
+	StructWindow
+	StructBPred
+	StructRegRead
+)
+
+func (s Structure) String() string {
+	switch s {
+	case StructDL1:
+		return "dl1"
+	case StructL2:
+		return "l2"
+	case StructWindow:
+		return "window"
+	case StructBPred:
+		return "bpred"
+	default:
+		return "regread"
+	}
+}
+
+// SensitivityPoint is one latency setting and the IPC it yields.
+type SensitivityPoint struct {
+	LatencyCycles int
+	IPC           map[trace.Group]float64
+	AllIPC        float64
+	RelativeAll   float64 // vs the structure's baseline latency
+}
+
+// SensitivityCurve is one structure's IPC-vs-latency curve at a fixed
+// machine and clock.
+type SensitivityCurve struct {
+	Structure Structure
+	Baseline  int // the baseline latency in cycles
+	Points    []SensitivityPoint
+}
+
+// LatencySensitivity builds the §4.5 curves: at the machine's Alpha 21264
+// latencies, vary one structure's latency from 1 to maxCycles while
+// holding everything else fixed, and record IPC.
+func LatencySensitivity(cfg SweepConfig, maxCycles int) []SensitivityCurve {
+	cfg.fill()
+	traces := make([]*trace.Trace, len(cfg.Benchmarks))
+	for i, b := range cfg.Benchmarks {
+		traces[i] = b.Generate(cfg.Instructions, cfg.Seed)
+	}
+	baseTiming := cfg.Machine.Resolve(fo4.Clock{Useful: 6, Overhead: cfg.Overhead})
+
+	run := func(mod func(*pipeline.Params)) (map[trace.Group]float64, float64) {
+		groups := map[trace.Group][]float64{}
+		var all []float64
+		for _, tr := range traces {
+			p := pipeline.Params{Machine: cfg.Machine, Timing: baseTiming, Warmup: cfg.Warmup}
+			mod(&p)
+			s := pipeline.Run(p, tr)
+			groups[tr.Group] = append(groups[tr.Group], s.IPC)
+			all = append(all, s.IPC)
+		}
+		out := map[trace.Group]float64{}
+		for g, xs := range groups {
+			out[g] = metrics.HarmonicMean(xs)
+		}
+		return out, metrics.HarmonicMean(all)
+	}
+
+	structs := []Structure{StructDL1, StructL2, StructWindow, StructBPred, StructRegRead}
+	var curves []SensitivityCurve
+	for _, st := range structs {
+		cur := SensitivityCurve{Structure: st, Baseline: baselineOf(baseTiming, st)}
+		var baseAll float64
+		for lat := 1; lat <= maxCycles; lat++ {
+			l := lat
+			g, all := run(func(p *pipeline.Params) { setLatency(&p.Timing, st, l) })
+			if l == cur.Baseline {
+				baseAll = all
+			}
+			cur.Points = append(cur.Points, SensitivityPoint{
+				LatencyCycles: l, IPC: g, AllIPC: all,
+			})
+		}
+		if baseAll == 0 {
+			baseAll = cur.Points[0].AllIPC
+		}
+		for i := range cur.Points {
+			cur.Points[i].RelativeAll = cur.Points[i].AllIPC / baseAll
+		}
+		curves = append(curves, cur)
+	}
+	return curves
+}
+
+func baselineOf(t config.Timing, s Structure) int {
+	switch s {
+	case StructDL1:
+		return t.DL1
+	case StructL2:
+		return t.L2
+	case StructWindow:
+		return t.Window
+	case StructBPred:
+		return t.BPred
+	default:
+		return t.RegRead
+	}
+}
+
+func setLatency(t *config.Timing, s Structure, cycles int) {
+	switch s {
+	case StructDL1:
+		t.DL1 = cycles
+	case StructL2:
+		t.L2 = cycles
+	case StructWindow:
+		t.Window = cycles
+	case StructBPred:
+		t.BPred = cycles
+	default:
+		t.RegRead = cycles
+	}
+}

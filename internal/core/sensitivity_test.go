@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func sensitivityConfig() SweepConfig {
+	cfg := testConfig()
+	cfg.Instructions = 25000
+	// Integer benchmarks only: §4.5's curves and Figure 8 focus there.
+	cfg.Benchmarks = trace.ByGroup(trace.Integer)[:4]
+	return cfg
+}
+
+func TestLatencySensitivityMonotone(t *testing.T) {
+	curves := LatencySensitivity(sensitivityConfig(), 6)
+	if len(curves) != 5 {
+		t.Fatalf("got %d curves, want 5 structures", len(curves))
+	}
+	for _, c := range curves {
+		prev := 2.0
+		for _, p := range c.Points {
+			if p.AllIPC > prev*1.005 {
+				t.Errorf("%v: IPC rose when latency grew to %d cycles", c.Structure, p.LatencyCycles)
+			}
+			prev = p.AllIPC
+		}
+		if c.Points[0].AllIPC <= 0 {
+			t.Errorf("%v: empty curve", c.Structure)
+		}
+	}
+}
+
+func TestLatencySensitivityOrdering(t *testing.T) {
+	// The issue window's latency (the wakeup loop) must be among the most
+	// sensitive structures and the L2 among the least, consistent with
+	// Figure 8's critical-loop analysis.
+	curves := LatencySensitivity(sensitivityConfig(), 6)
+	drop := map[Structure]float64{}
+	for _, c := range curves {
+		drop[c.Structure] = c.Points[0].AllIPC / c.Points[len(c.Points)-1].AllIPC
+	}
+	if drop[StructWindow] < drop[StructL2] {
+		t.Errorf("window sensitivity (%.2f) below L2 sensitivity (%.2f)",
+			drop[StructWindow], drop[StructL2])
+	}
+	if drop[StructDL1] < drop[StructL2] {
+		t.Errorf("DL1 sensitivity (%.2f) below L2 sensitivity (%.2f)",
+			drop[StructDL1], drop[StructL2])
+	}
+}
+
+func TestSensitivityBaselineRelative(t *testing.T) {
+	curves := LatencySensitivity(sensitivityConfig(), 6)
+	for _, c := range curves {
+		if c.Baseline < 1 {
+			t.Errorf("%v: baseline latency %d", c.Structure, c.Baseline)
+		}
+		if c.Baseline <= len(c.Points) {
+			rel := c.Points[c.Baseline-1].RelativeAll
+			if rel < 0.999 || rel > 1.001 {
+				t.Errorf("%v: relative IPC at baseline = %v, want 1", c.Structure, rel)
+			}
+		}
+	}
+}
+
+func TestStructureStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range []Structure{StructDL1, StructL2, StructWindow, StructBPred, StructRegRead} {
+		if seen[s.String()] {
+			t.Errorf("duplicate structure name %q", s)
+		}
+		seen[s.String()] = true
+	}
+}

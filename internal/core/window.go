@@ -1,0 +1,119 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// WindowPoint is one x-position of Figure 11: the wakeup logic pipelined
+// into Stages segments, with IPC relative to the single-stage window.
+type WindowPoint struct {
+	Stages      int
+	RelativeIPC map[trace.Group]float64
+	RelativeAll float64
+}
+
+// SegmentedWindowSweep reproduces Figure 11: a 32-entry unified instruction
+// window at the Alpha 21264's latencies, with wakeup pipelined from 1 to
+// maxStages segments. All entries remain visible to selection (the
+// selection experiment is separate — see SegmentedSelect). naive selects
+// Stark et al.'s pessimistic pipelining instead, where dependent
+// instructions can never issue in consecutive cycles.
+func SegmentedWindowSweep(cfg SweepConfig, maxStages int, naive bool) []WindowPoint {
+	cfg.fill()
+	cfg.Machine.UnifiedWindow = 32
+	traces := make([]*trace.Trace, len(cfg.Benchmarks))
+	for i, b := range cfg.Benchmarks {
+		traces[i] = b.Generate(cfg.Instructions, cfg.Seed)
+	}
+	timing := config.Alpha21264Timing()
+
+	run := func(stages int) (map[trace.Group]float64, float64) {
+		groups := map[trace.Group][]float64{}
+		var all []float64
+		for _, tr := range traces {
+			p := pipeline.Params{
+				Machine:         cfg.Machine,
+				Timing:          timing,
+				Warmup:          cfg.Warmup,
+				WindowStages:    stages,
+				NaivePipelining: naive && stages > 1,
+			}
+			s := pipeline.Run(p, tr)
+			groups[tr.Group] = append(groups[tr.Group], s.IPC)
+			all = append(all, s.IPC)
+		}
+		out := map[trace.Group]float64{}
+		for g, xs := range groups {
+			out[g] = metrics.HarmonicMean(xs)
+		}
+		return out, metrics.HarmonicMean(all)
+	}
+
+	baseGroups, baseAll := run(1)
+	var points []WindowPoint
+	for stages := 1; stages <= maxStages; stages++ {
+		g, all := run(stages)
+		pt := WindowPoint{Stages: stages, RelativeIPC: map[trace.Group]float64{}}
+		for grp, v := range g {
+			pt.RelativeIPC[grp] = v / baseGroups[grp]
+		}
+		pt.RelativeAll = all / baseAll
+		points = append(points, pt)
+	}
+	return points
+}
+
+// SelectResult is the Section 5.2 experiment outcome: IPC of the
+// partitioned-selection window relative to a single-cycle 32-entry window
+// with full select fan-in.
+type SelectResult struct {
+	RelativeIPC map[trace.Group]float64
+	RelativeAll float64
+}
+
+// SegmentedSelect reproduces the Figure 12 design evaluation: a 32-entry
+// window in four stages with selection fan-in 16 — stage 1's eight entries
+// fully visible plus pre-selection quotas of 5, 2 and 1 instructions from
+// stages 2, 3 and 4 — compared against the conventional window. The paper
+// reports integer IPC down 4% and floating-point down 1%.
+func SegmentedSelect(cfg SweepConfig) SelectResult {
+	cfg.fill()
+	cfg.Machine.UnifiedWindow = 32
+	traces := make([]*trace.Trace, len(cfg.Benchmarks))
+	for i, b := range cfg.Benchmarks {
+		traces[i] = b.Generate(cfg.Instructions, cfg.Seed)
+	}
+	timing := config.Alpha21264Timing()
+
+	run := func(seg bool) (map[trace.Group]float64, float64) {
+		groups := map[trace.Group][]float64{}
+		var all []float64
+		for _, tr := range traces {
+			p := pipeline.Params{Machine: cfg.Machine, Timing: timing, Warmup: cfg.Warmup}
+			if seg {
+				p.WindowStages = 4
+				p.PreSelect = []int{5, 2, 1}
+			}
+			s := pipeline.Run(p, tr)
+			groups[tr.Group] = append(groups[tr.Group], s.IPC)
+			all = append(all, s.IPC)
+		}
+		out := map[trace.Group]float64{}
+		for g, xs := range groups {
+			out[g] = metrics.HarmonicMean(xs)
+		}
+		return out, metrics.HarmonicMean(all)
+	}
+
+	baseG, baseAll := run(false)
+	segG, segAll := run(true)
+	res := SelectResult{RelativeIPC: map[trace.Group]float64{}}
+	for g, v := range segG {
+		res.RelativeIPC[g] = v / baseG[g]
+	}
+	res.RelativeAll = segAll / baseAll
+	return res
+}

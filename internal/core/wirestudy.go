@@ -1,0 +1,30 @@
+package core
+
+import (
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// WireStudy runs the paper's stated future work (Section 7): the same
+// depth sweep with and without the wire-delay model applied to the
+// critical loops. The paper conjectures that wires do not move the
+// optimum for a fixed microarchitecture; the study quantifies how much
+// performance they cost and where the optimum lands once every critical
+// loop pays its floorplan distance.
+func WireStudy(cfg SweepConfig, wm wire.Model) (without, with SweepResult) {
+	cfg.fill()
+	traces := make([]*trace.Trace, len(cfg.Benchmarks))
+	for i, b := range cfg.Benchmarks {
+		traces[i] = b.Generate(cfg.Instructions, cfg.Seed)
+	}
+	without = SweepResult{Config: cfg}
+	with = SweepResult{Config: cfg}
+	for _, useful := range cfg.UsefulGrid {
+		without.Points = append(without.Points, runPoint(cfg, useful, traces, nil))
+		with.Points = append(with.Points, runPoint(cfg, useful, traces, func(p *pipeline.Params) {
+			p.Timing = wm.ApplyToTiming(cfg.Machine, p.Timing)
+		}))
+	}
+	return without, with
+}

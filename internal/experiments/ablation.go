@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// AblationResult is the mechanism-contribution study.
+type AblationResult struct {
+	Points          []core.AblationPoint
+	PrefetchWith    float64
+	PrefetchWithout float64
+}
+
+// RunAblation measures each modeled mechanism's contribution at the 6 FO4
+// optimum, plus the stream-prefetch substitution's effect.
+func RunAblation(o Options) AblationResult {
+	o = o.fill()
+	cfg := o.sweepConfig(config.Alpha21264())
+	res := AblationResult{Points: core.AblationStudy(cfg)}
+	res.PrefetchWith, res.PrefetchWithout = core.PrefetchAblation(cfg)
+	return res
+}
+
+// Render prints the ablation rows.
+func (a AblationResult) Render() string {
+	out := core.RenderAblation(a.Points)
+	out += fmt.Sprintf("  %-36s %7.3f → %7.3f (%.2fx)\n",
+		"stream prefetch off", a.PrefetchWith, a.PrefetchWithout,
+		a.PrefetchWithout/a.PrefetchWith)
+	return out
+}

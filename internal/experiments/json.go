@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"encoding/json"
+
+	"repro/internal/trace"
+)
+
+// Machine-readable export: every experiment result marshals to a stable
+// JSON shape so downstream tooling (plotting scripts, regression trackers)
+// can consume the reproduction without parsing the rendered text.
+
+// SeriesJSON is a generic (x, series...) export for figure-shaped results.
+type SeriesJSON struct {
+	Title  string               `json:"title"`
+	XLabel string               `json:"x_label"`
+	X      []float64            `json:"x"`
+	Series map[string][]float64 `json:"series"`
+}
+
+// JSON exports the depth sweep as one series per benchmark group.
+func (d DepthSweepResult) JSON() ([]byte, error) {
+	out := SeriesJSON{
+		Title:  d.Title,
+		XLabel: "useful FO4 per stage",
+		Series: map[string][]float64{},
+	}
+	for _, p := range d.Sweep.Points {
+		out.X = append(out.X, p.Useful)
+		out.Series["integer"] = append(out.Series["integer"], p.GroupBIPS[trace.Integer])
+		out.Series["vector-fp"] = append(out.Series["vector-fp"], p.GroupBIPS[trace.VectorFP])
+		out.Series["non-vector-fp"] = append(out.Series["non-vector-fp"], p.GroupBIPS[trace.NonVectorFP])
+		out.Series["all"] = append(out.Series["all"], p.AllBIPS)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// JSON exports the loop-sensitivity family, one series per loop.
+func (f Figure8Result) JSON() ([]byte, error) {
+	out := SeriesJSON{
+		Title:  "Figure 8: relative integer IPC vs loop extension",
+		XLabel: "cycles added to the loop",
+		Series: map[string][]float64{},
+	}
+	for _, p := range f.Sweeps[0].Points {
+		out.X = append(out.X, float64(p.Extra))
+	}
+	for _, s := range f.Sweeps {
+		key := s.Loop.String()
+		for _, p := range s.Points {
+			out.Series[key] = append(out.Series[key], p.RelativeIPC[trace.Integer])
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// JSON exports the segmented-window sweep.
+func (f Figure11Result) JSON() ([]byte, error) {
+	out := SeriesJSON{
+		Title:  "Figure 11: relative IPC vs window pipeline depth",
+		XLabel: "wakeup stages",
+		Series: map[string][]float64{},
+	}
+	for i, p := range f.Points {
+		out.X = append(out.X, float64(p.Stages))
+		out.Series["integer"] = append(out.Series["integer"], p.RelativeIPC[trace.Integer])
+		out.Series["fp"] = append(out.Series["fp"], FPRelative(p))
+		out.Series["naive-integer"] = append(out.Series["naive-integer"],
+			f.Naive[i].RelativeIPC[trace.Integer])
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// JSON exports the headline numbers.
+func (h Headline) JSON() ([]byte, error) {
+	return json.MarshalIndent(h, "", "  ")
+}
+
+// JSON exports Figure 1's rows.
+func (f Figure1) JSON() ([]byte, error) {
+	return json.MarshalIndent(f, "", "  ")
+}

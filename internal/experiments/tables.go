@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cacti"
+	"repro/internal/circuit"
+	"repro/internal/config"
+	"repro/internal/fo4"
+	"repro/internal/isa"
+	"repro/internal/latch"
+)
+
+// Table1Result holds the clocking-overhead decomposition with the latch
+// component measured by the circuit simulator.
+type Table1Result struct {
+	Latch  latch.OverheadResult
+	Ecl    latch.ECLResult
+	Skew   float64 // FO4, from Kurd et al. (paper input, not simulated)
+	Jitter float64
+}
+
+// RunTable1 measures the latch overhead (and the Appendix A ECL gate) at
+// the calibrated 100nm device model. step is the data-edge sweep
+// granularity in ps; 2.0 is fast and accurate to ~0.05 FO4.
+func RunTable1(step float64) Table1Result {
+	return Table1Result{
+		Latch:  latch.MeasureLatchOverhead(circuit.Params100nm, step),
+		Ecl:    latch.MeasureECLGate(circuit.Params100nm),
+		Skew:   fo4.PaperOverhead.Skew,
+		Jitter: fo4.PaperOverhead.Jitter,
+	}
+}
+
+// Render prints the Table 1 decomposition and the Appendix A result.
+func (t Table1Result) Render() string {
+	total := t.Latch.OverheadFO4 + t.Skew + t.Jitter
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 1: clocking overhead at 100nm")
+	fmt.Fprintf(&b, "  measured FO4 reference   %6.2f ps\n", t.Latch.FO4Ps)
+	fmt.Fprintf(&b, "  latch overhead (SPICE)   %6.2f ps = %.2f FO4 (paper: 1.0)\n",
+		t.Latch.OverheadPs, t.Latch.OverheadFO4)
+	fmt.Fprintf(&b, "  clock skew (Kurd et al.) %6.2f FO4\n", t.Skew)
+	fmt.Fprintf(&b, "  clock jitter             %6.2f FO4\n", t.Jitter)
+	fmt.Fprintf(&b, "  total                    %6.2f FO4 (paper: 1.8)\n", total)
+	fmt.Fprintf(&b, "Appendix A: one Cray ECL gate (NAND4→NAND5) = %.2f FO4 (paper: 1.36);\n", t.Ecl.GateFO4)
+	fmt.Fprintf(&b, "  a 16-gate Cray-1S stage = %.1f FO4\n", 2*t.Ecl.PerStageEq)
+	return b.String()
+}
+
+// Table3Result is the access-latency grid.
+type Table3Result struct {
+	Useful []float64
+	Rows   []config.Timing
+	Alpha  config.Timing
+}
+
+// RunTable3 resolves the Alpha 21264's structures at every grid clock.
+func RunTable3() Table3Result {
+	m := config.Alpha21264()
+	res := Table3Result{Alpha: config.Alpha21264Timing()}
+	for u := 2.0; u <= 16; u++ {
+		res.Useful = append(res.Useful, u)
+		res.Rows = append(res.Rows, m.Resolve(fo4.Clock{Useful: u, Overhead: fo4.PaperOverhead}))
+	}
+	return res
+}
+
+// Render prints the table in the paper's layout: structures then
+// functional units, one column per t_useful plus the 21264 hardware row.
+func (t Table3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 3: access latencies (cycles) at 100nm")
+	fmt.Fprintf(&b, "%-16s", "(FO4)")
+	for _, u := range t.Useful {
+		fmt.Fprintf(&b, "%4.0f", u)
+	}
+	fmt.Fprintf(&b, "  Alpha(17.4)\n")
+	row := func(name string, get func(config.Timing) int) {
+		fmt.Fprintf(&b, "%-16s", name)
+		for _, r := range t.Rows {
+			fmt.Fprintf(&b, "%4d", get(r))
+		}
+		fmt.Fprintf(&b, "  %d\n", get(t.Alpha))
+	}
+	row("DL1", func(r config.Timing) int { return r.DL1 })
+	row("Branch pred", func(r config.Timing) int { return r.BPred })
+	row("Rename", func(r config.Timing) int { return r.Rename })
+	row("Issue window", func(r config.Timing) int { return r.Window })
+	row("Register file", func(r config.Timing) int { return r.RegRead })
+	row("Int add", func(r config.Timing) int { return r.Exec[isa.IntAlu] })
+	row("Int mult", func(r config.Timing) int { return r.Exec[isa.IntMult] })
+	row("FP add", func(r config.Timing) int { return r.Exec[isa.FPAdd] })
+	row("FP mult", func(r config.Timing) int { return r.Exec[isa.FPMult] })
+	row("FP div", func(r config.Timing) int { return r.Exec[isa.FPDiv] })
+	row("FP sqrt", func(r config.Timing) int { return r.Exec[isa.FPSqrt] })
+	return b.String()
+}
+
+// StructureSummary reports the physical characteristics of the baseline
+// machine's structures — access time, area and read energy — from the
+// cacti model. It extends Table 3 with Cacti 3.0's other two outputs.
+type StructureSummary struct {
+	Rows []StructureRow
+}
+
+// StructureRow is one structure's physical summary.
+type StructureRow struct {
+	Name     string
+	FO4      float64
+	Ps       float64
+	AreaMm2  float64
+	EnergyPJ float64
+}
+
+// RunStructureSummary builds the summary for the Alpha 21264 machine.
+func RunStructureSummary() StructureSummary {
+	m := config.Alpha21264()
+	md := m.Model
+	am := cacti.DefaultArea100nm
+	s := m.Structures
+	ps := func(f float64) float64 { return fo4.Tech100nm.FO4ToPs(f) }
+
+	rows := []StructureRow{
+		{
+			Name: "DL1 64KB/2w", FO4: md.CacheAccessFO4(s.DL1),
+			AreaMm2: am.CacheAreaMm2(s.DL1), EnergyPJ: am.CacheReadEnergyPJ(s.DL1),
+		},
+		{
+			Name: "L2 2MB/2w", FO4: md.CacheAccessFO4(s.L2),
+			AreaMm2: am.CacheAreaMm2(s.L2), EnergyPJ: am.CacheReadEnergyPJ(s.L2),
+		},
+		{
+			Name: "regfile 512x64", FO4: md.RAMAccessFO4(s.RegFile),
+			AreaMm2: am.RAMAreaMm2(s.RegFile), EnergyPJ: am.RAMReadEnergyPJ(s.RegFile),
+		},
+		{
+			Name: "issue window 20", FO4: md.CAMAccessFO4(s.Window),
+			AreaMm2: am.CAMAreaMm2(s.Window, 40), EnergyPJ: am.CAMSearchEnergyPJ(s.Window),
+		},
+		{
+			Name: "branch predictor", FO4: m.BPredFO4(),
+			AreaMm2: am.RAMAreaMm2(s.BPredLocalHist) + am.RAMAreaMm2(s.BPredLocalCnt) +
+				am.RAMAreaMm2(s.BPredGlobal) + am.RAMAreaMm2(s.BPredChoice),
+			EnergyPJ: am.RAMReadEnergyPJ(s.BPredLocalHist) + am.RAMReadEnergyPJ(s.BPredLocalCnt),
+		},
+	}
+	for i := range rows {
+		rows[i].Ps = ps(rows[i].FO4)
+	}
+	return StructureSummary{Rows: rows}
+}
+
+// Render prints the physical summary table.
+func (s StructureSummary) Render() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Structure physical summary at 100nm (timing + Cacti 3.0 area/energy extension)")
+	fmt.Fprintf(&b, "%-18s %8s %8s %9s %9s\n", "structure", "FO4", "ps", "mm²", "pJ/read")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%-18s %8.1f %8.0f %9.2f %9.1f\n", r.Name, r.FO4, r.Ps, r.AreaMm2, r.EnergyPJ)
+	}
+	return b.String()
+}

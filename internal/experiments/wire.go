@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// WireStudyResult is the Section 7 future-work experiment: the depth
+// sweep with and without floorplan wire delays on the critical loops.
+type WireStudyResult struct {
+	Without core.SweepResult
+	With    core.SweepResult
+	Model   wire.Model
+}
+
+// RunWireStudy runs the wire-delay extension on the out-of-order machine.
+func RunWireStudy(o Options) WireStudyResult {
+	o = o.fill()
+	cfg := o.sweepConfig(config.Alpha21264())
+	wm := wire.Default100nm
+	without, with := core.WireStudy(cfg, wm)
+	return WireStudyResult{Without: without, With: with, Model: wm}
+}
+
+// Render prints the two integer curves and the optima.
+func (w WireStudyResult) Render() string {
+	var b strings.Builder
+	p := w.Model.Penalties(config.Alpha21264())
+	fmt.Fprintln(&b, "Wire-delay study (the paper's §7 future work)")
+	fmt.Fprintf(&b, "critical-loop wire flight: bypass %.1f, load-use %.1f, fetch %.1f, wakeup %.1f FO4\n",
+		p.BypassFO4, p.LoadUseFO4, p.FetchFO4, p.WakeupFO4)
+	fmt.Fprintf(&b, "%-8s %12s %12s\n", "t_useful", "no wires", "with wires")
+	for i, pt := range w.Without.Points {
+		fmt.Fprintf(&b, "%6.0f   %12.3f %12.3f\n", pt.Useful,
+			pt.GroupBIPS[trace.Integer], w.With.Points[i].GroupBIPS[trace.Integer])
+	}
+	fmt.Fprintf(&b, "integer optimum: %.0f FO4 without wires, %.0f FO4 with wires\n",
+		w.Without.NearOptimalUseful(trace.Integer, 0.02),
+		w.With.NearOptimalUseful(trace.Integer, 0.02))
+	return b.String()
+}

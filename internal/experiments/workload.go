@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/branch"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// WorkloadRow is the measured character of one synthetic benchmark: the
+// quantities the calibration in internal/trace/spec2000.go targets,
+// measured through the same structural predictor and hierarchy the
+// pipeline uses.
+type WorkloadRow struct {
+	Name  string
+	Group trace.Group
+
+	LoadFrac    float64
+	StoreFrac   float64
+	BranchFrac  float64
+	MeanDepDist float64
+
+	MispredictRate float64 // under the 21264 tournament predictor
+	L1MissRate     float64 // under the 64KB/2MB hierarchy
+	DRAMRate       float64 // fraction of memory accesses reaching DRAM
+}
+
+// WorkloadTable characterizes the whole suite.
+type WorkloadTable struct {
+	Rows []WorkloadRow
+}
+
+// RunWorkloadTable measures every benchmark profile with n instructions.
+func RunWorkloadTable(n int, seed uint64) WorkloadTable {
+	if n <= 0 {
+		n = 50000
+	}
+	var out WorkloadTable
+	for _, p := range trace.SPEC2000() {
+		tr := p.Generate(n, seed)
+		out.Rows = append(out.Rows, characterize(p, tr))
+	}
+	return out
+}
+
+func characterize(p trace.Profile, tr *trace.Trace) WorkloadRow {
+	var counts [isa.NumClasses]int
+	var depSum, depN float64
+	pred := branch.New()
+	h := mem.NewHierarchy(
+		mem.NewCache(64<<10, 64, 2),
+		mem.NewCache(2<<20, 64, 2),
+	)
+	h.Coverage = tr.PrefetchCoverage
+	h.Prewarm(tr.HotBytes, tr.WarmBytes)
+
+	var memAccesses, memToDRAM uint64
+	for i, in := range tr.Insts {
+		counts[in.Class]++
+		if in.Src1 >= 0 {
+			depSum += float64(int32(i) - in.Src1)
+			depN++
+		}
+		switch {
+		case in.Class == isa.Branch:
+			g := pred.Predict(in.PC)
+			pred.Update(in.PC, in.Taken, g)
+		case in.Class.IsMem():
+			memAccesses++
+			if h.Access(in.Addr) == mem.Memory {
+				memToDRAM++
+			}
+		}
+	}
+	total := float64(len(tr.Insts))
+	row := WorkloadRow{
+		Name:           p.Name,
+		Group:          p.Group,
+		LoadFrac:       float64(counts[isa.Load]) / total,
+		StoreFrac:      float64(counts[isa.Store]) / total,
+		BranchFrac:     float64(counts[isa.Branch]) / total,
+		MispredictRate: pred.MispredictRate(),
+		L1MissRate:     h.L1.MissRate(),
+	}
+	if depN > 0 {
+		row.MeanDepDist = depSum / depN
+	}
+	if memAccesses > 0 {
+		row.DRAMRate = float64(memToDRAM) / float64(memAccesses)
+	}
+	return row
+}
+
+// Render prints the characterization table.
+func (w WorkloadTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-13s %-13s %5s %5s %5s %6s %7s %7s %7s\n",
+		"benchmark", "group", "load%", "stor%", "br%", "dep", "mispr%", "L1miss%", "mem%")
+	for _, r := range w.Rows {
+		fmt.Fprintf(&b, "%-13s %-13s %4.1f%% %4.1f%% %4.1f%% %6.1f %6.1f%% %6.1f%% %6.2f%%\n",
+			r.Name, r.Group,
+			100*r.LoadFrac, 100*r.StoreFrac, 100*r.BranchFrac, r.MeanDepDist,
+			100*r.MispredictRate, 100*r.L1MissRate, 100*r.DRAMRate)
+	}
+	return b.String()
+}

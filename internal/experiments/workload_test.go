@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// The calibration regression test: these bands pin the workload-level
+// properties the reproduction's conclusions depend on. If profile tuning
+// drifts outside them, the Figure 5 optima will likely move too.
+func TestWorkloadCalibrationBands(t *testing.T) {
+	tab := RunWorkloadTable(50000, 1)
+	if len(tab.Rows) != 18 {
+		t.Fatalf("got %d rows, want 18", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		// Universal sanity.
+		if r.LoadFrac < 0.1 || r.LoadFrac > 0.45 {
+			t.Errorf("%s: load fraction %.2f outside SPEC-like band", r.Name, r.LoadFrac)
+		}
+		if r.MeanDepDist < 5 || r.MeanDepDist > 60 {
+			t.Errorf("%s: mean dep distance %.1f implausible", r.Name, r.MeanDepDist)
+		}
+		switch r.Group {
+		case trace.Integer:
+			if r.BranchFrac < 0.08 || r.BranchFrac > 0.22 {
+				t.Errorf("%s: branch fraction %.2f outside integer band", r.Name, r.BranchFrac)
+			}
+			if r.MispredictRate < 0.05 || r.MispredictRate > 0.22 {
+				t.Errorf("%s: mispredict rate %.3f outside integer band", r.Name, r.MispredictRate)
+			}
+		case trace.VectorFP:
+			if r.BranchFrac > 0.05 {
+				t.Errorf("%s: vector code with %.1f%% branches", r.Name, 100*r.BranchFrac)
+			}
+			if r.MispredictRate > 0.08 {
+				t.Errorf("%s: vector mispredict rate %.3f too high", r.Name, r.MispredictRate)
+			}
+		case trace.NonVectorFP:
+			if r.BranchFrac < 0.04 || r.BranchFrac > 0.12 {
+				t.Errorf("%s: branch fraction %.2f outside non-vector band", r.Name, r.BranchFrac)
+			}
+		}
+	}
+
+	byName := map[string]WorkloadRow{}
+	for _, r := range tab.Rows {
+		byName[r.Name] = r
+	}
+	// The memory-character anchors: mcf and art are the cache busters.
+	if byName["181.mcf"].L1MissRate < 0.15 {
+		t.Errorf("mcf L1 miss rate %.3f; should be the worst integer benchmark",
+			byName["181.mcf"].L1MissRate)
+	}
+	if byName["252.eon"].L1MissRate > 0.05 {
+		t.Errorf("eon L1 miss rate %.3f; should be cache-resident", byName["252.eon"].L1MissRate)
+	}
+	if byName["179.art"].L1MissRate < 0.10 {
+		t.Errorf("art L1 miss rate %.3f; art should thrash the L1", byName["179.art"].L1MissRate)
+	}
+	// DRAM exposure stays bounded for the cache-resident codes.
+	for _, name := range []string{"164.gzip", "252.eon", "171.swim"} {
+		if byName[name].DRAMRate > 0.02 {
+			t.Errorf("%s: %.2f%% of accesses reach DRAM; should be rare", name, 100*byName[name].DRAMRate)
+		}
+	}
+}
+
+func TestWorkloadTableRender(t *testing.T) {
+	tab := RunWorkloadTable(5000, 1)
+	out := tab.Render()
+	if !strings.Contains(out, "181.mcf") || !strings.Contains(out, "mispr%") {
+		t.Error("render incomplete")
+	}
+}

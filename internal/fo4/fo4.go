@@ -1,0 +1,170 @@
+// Package fo4 models the fan-out-of-four (FO4) delay metric and the
+// technology-scaling arithmetic used throughout the paper.
+//
+// One FO4 is the delay of an inverter driving four copies of itself. Delays
+// expressed in FO4 are, to first order, independent of fabrication
+// technology, which is why the paper states all its results in FO4. The
+// paper's conversion rule (following Ho, Mai and Horowitz, "The future of
+// wires") is that one FO4 corresponds to roughly 360 picoseconds times the
+// transistor's drawn gate length in microns.
+package fo4
+
+import (
+	"fmt"
+	"math"
+)
+
+// PsPerMicron is the paper's FO4 conversion constant: one FO4 delay equals
+// PsPerMicron picoseconds multiplied by the drawn gate length in microns.
+const PsPerMicron = 360.0
+
+// Tech describes a fabrication technology by its drawn gate length.
+type Tech struct {
+	// Nanometers is the drawn gate length (not the effective gate length;
+	// the paper is explicit that feature sizes refer to drawn lengths).
+	Nanometers float64
+}
+
+// Common technology nodes referenced in the paper.
+var (
+	Tech1000nm = Tech{1000}
+	Tech800nm  = Tech{800}
+	Tech600nm  = Tech{600}
+	Tech350nm  = Tech{350}
+	Tech250nm  = Tech{250}
+	Tech180nm  = Tech{180} // Alpha 21264, Pentium 4 era
+	Tech130nm  = Tech{130}
+	Tech100nm  = Tech{100} // the paper's design point
+)
+
+// FO4Ps returns the duration of one FO4 delay in picoseconds at this
+// technology: 360 ps × drawn gate length in microns. At 100nm one FO4 is
+// 36 ps, which is also the paper's measured latch overhead.
+func (t Tech) FO4Ps() float64 {
+	return PsPerMicron * t.Nanometers / 1000.0
+}
+
+// PsToFO4 converts a delay in picoseconds to FO4 units at this technology.
+func (t Tech) PsToFO4(ps float64) float64 {
+	return ps / t.FO4Ps()
+}
+
+// FO4ToPs converts a delay in FO4 units to picoseconds at this technology.
+func (t Tech) FO4ToPs(fo4 float64) float64 {
+	return fo4 * t.FO4Ps()
+}
+
+// PeriodFO4 returns the clock period, in FO4, of a processor running at
+// freqHz in this technology. This is the computation behind Figure 1.
+func (t Tech) PeriodFO4(freqHz float64) float64 {
+	periodPs := 1e12 / freqHz
+	return t.PsToFO4(periodPs)
+}
+
+// FrequencyHz returns the clock frequency implied by a clock period of
+// periodFO4 FO4 delays at this technology.
+func (t Tech) FrequencyHz(periodFO4 float64) float64 {
+	return 1e12 / t.FO4ToPs(periodFO4)
+}
+
+// Overhead is the per-cycle clock overhead that does no useful work,
+// decomposed as in Table 1 of the paper. All fields are in FO4.
+type Overhead struct {
+	Latch  float64 // time for latches to sample and hold values
+	Skew   float64 // clock skew between communicating latches
+	Jitter float64 // cycle-to-cycle clock uncertainty
+}
+
+// PaperOverhead is Table 1: 1.0 FO4 of latch overhead (measured by the
+// circuit experiments in internal/latch), 0.3 FO4 of skew and 0.5 FO4 of
+// jitter (from Kurd et al.'s multi-domain clocking measurements at 180nm),
+// totalling 1.8 FO4.
+var PaperOverhead = Overhead{Latch: 1.0, Skew: 0.3, Jitter: 0.5}
+
+// Total returns the summed overhead in FO4 (T_overhead in the paper).
+func (o Overhead) Total() float64 { return o.Latch + o.Skew + o.Jitter }
+
+// Clock is a clock design point: useful logic per stage plus overhead.
+// The clock period is Useful + Overhead.Total().
+type Clock struct {
+	Useful   float64 // t_useful: FO4 of useful logic per pipeline stage
+	Overhead Overhead
+}
+
+// PeriodFO4 returns the full clock period in FO4 (useful + overhead).
+func (c Clock) PeriodFO4() float64 { return c.Useful + c.Overhead.Total() }
+
+// PeriodPs returns the clock period in picoseconds at technology t.
+func (c Clock) PeriodPs(t Tech) float64 { return t.FO4ToPs(c.PeriodFO4()) }
+
+// FrequencyHz returns the clock frequency in hertz at technology t.
+func (c Clock) FrequencyHz(t Tech) float64 { return 1e12 / c.PeriodPs(t) }
+
+// CyclesForWork returns the number of clock cycles needed to perform an
+// operation whose useful work is workFO4, following the paper's methodology:
+// the structure or functional-unit delay is divided by the useful time per
+// stage and rounded up to a whole number of cycles (a partially used stage
+// still costs a full cycle). Every operation takes at least one cycle.
+func (c Clock) CyclesForWork(workFO4 float64) int {
+	if c.Useful <= 0 {
+		panic("fo4: Clock.Useful must be positive")
+	}
+	n := int(math.Ceil(workFO4/c.Useful - 1e-9))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (c Clock) String() string {
+	return fmt.Sprintf("%.1f+%.1f FO4", c.Useful, c.Overhead.Total())
+}
+
+// Alpha21264 constants: the paper derives functional-unit work in FO4 from
+// the Alpha 21264 (800 MHz at 180nm) by attributing 10% of its clock period
+// to latch overhead.
+const (
+	// Alpha21264FreqHz is the 21264's clock frequency used by the paper.
+	Alpha21264FreqHz = 800e6
+	// Alpha21264LatchFraction is the fraction of the 21264 clock period the
+	// paper attributes to latch overhead when deriving useful work.
+	Alpha21264LatchFraction = 0.10
+)
+
+// Alpha21264UsefulFO4 returns the useful logic per stage of the Alpha 21264
+// in FO4: its 1250 ps period at 180nm is 19.3 FO4, and removing the 10%
+// latch overhead leaves about 17.4 FO4, the value in Table 3's last row.
+func Alpha21264UsefulFO4() float64 {
+	period := Tech180nm.PeriodFO4(Alpha21264FreqHz)
+	return period * (1 - Alpha21264LatchFraction)
+}
+
+// Processor is one entry of Figure 1's historical dataset.
+type Processor struct {
+	Name   string
+	Year   int
+	Tech   Tech    // fabrication technology (drawn gate length)
+	FreqHz float64 // nominal clock frequency
+}
+
+// PeriodFO4 returns the processor's clock period expressed in FO4.
+func (p Processor) PeriodFO4() float64 { return p.Tech.PeriodFO4(p.FreqHz) }
+
+// IntelHistory is the Figure 1 dataset: the last seven generations of Intel
+// x86 processors by year of introduction, fabrication technology and clock
+// frequency. Clock frequency improved by roughly a factor of 60 over the
+// period; logic per stage fell from 84 FO4 to around 11 FO4.
+var IntelHistory = []Processor{
+	{"i486DX (33 MHz)", 1990, Tech1000nm, 33e6},
+	{"i486DX2 (66 MHz)", 1992, Tech800nm, 66e6},
+	{"Pentium (100 MHz)", 1994, Tech600nm, 100e6},
+	{"Pentium Pro (200 MHz)", 1996, Tech350nm, 200e6},
+	{"Pentium II (450 MHz)", 1998, Tech250nm, 450e6},
+	{"Pentium III (1 GHz)", 2000, Tech180nm, 1e9},
+	{"Pentium 4 (2 GHz)", 2002, Tech130nm, 2e9},
+}
+
+// OptimalClockPeriodFO4 is the paper's headline result: the clock period at
+// the integer-benchmark optimum, 6 FO4 of useful logic plus 1.8 FO4 of
+// overhead. The dashed line in Figure 1 sits at this value.
+const OptimalClockPeriodFO4 = 7.8

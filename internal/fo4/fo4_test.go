@@ -1,0 +1,162 @@
+package fo4
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFO4PsAtKnownNodes(t *testing.T) {
+	cases := []struct {
+		tech Tech
+		want float64
+	}{
+		{Tech100nm, 36},
+		{Tech180nm, 64.8},
+		{Tech130nm, 46.8},
+		{Tech1000nm, 360},
+	}
+	for _, c := range cases {
+		if got := c.tech.FO4Ps(); !almost(got, c.want, 1e-9) {
+			t.Errorf("FO4Ps(%vnm) = %v, want %v", c.tech.Nanometers, got, c.want)
+		}
+	}
+}
+
+func TestPsFO4RoundTrip(t *testing.T) {
+	f := func(ps float64) bool {
+		ps = math.Abs(ps)
+		if ps > 1e9 || ps < 1e-9 {
+			return true
+		}
+		got := Tech100nm.FO4ToPs(Tech100nm.PsToFO4(ps))
+		return almost(got, ps, ps*1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodFO4HistoricalEndpoints(t *testing.T) {
+	// Figure 1: the 1990 33 MHz part at 1000nm has a period of ~84 FO4.
+	first := IntelHistory[0]
+	if got := first.PeriodFO4(); !almost(got, 84.2, 0.5) {
+		t.Errorf("1990 period = %.2f FO4, want ~84", got)
+	}
+	// The 2002 2 GHz part at 130nm is near 11 FO4 — within a factor of ~1.4
+	// of the paper's 7.8 FO4 optimum line.
+	last := IntelHistory[len(IntelHistory)-1]
+	if got := last.PeriodFO4(); got < 9 || got > 13 {
+		t.Errorf("2002 period = %.2f FO4, want ~10.7", got)
+	}
+}
+
+func TestHistoryMonotonicity(t *testing.T) {
+	// Clock periods in FO4 shrink monotonically across the seven
+	// generations; total frequency gain is ~60x.
+	for i := 1; i < len(IntelHistory); i++ {
+		if IntelHistory[i].PeriodFO4() >= IntelHistory[i-1].PeriodFO4() {
+			t.Errorf("period in FO4 did not shrink from %s to %s",
+				IntelHistory[i-1].Name, IntelHistory[i].Name)
+		}
+	}
+	gain := IntelHistory[len(IntelHistory)-1].FreqHz / IntelHistory[0].FreqHz
+	if gain < 55 || gain > 65 {
+		t.Errorf("frequency gain = %.1fx, want ~60x", gain)
+	}
+}
+
+func TestPaperOverheadTotal(t *testing.T) {
+	if got := PaperOverhead.Total(); !almost(got, 1.8, 1e-12) {
+		t.Errorf("PaperOverhead.Total() = %v, want 1.8", got)
+	}
+}
+
+func TestClockPeriodAndFrequency(t *testing.T) {
+	c := Clock{Useful: 6, Overhead: PaperOverhead}
+	if got := c.PeriodFO4(); !almost(got, 7.8, 1e-12) {
+		t.Errorf("PeriodFO4 = %v, want 7.8", got)
+	}
+	// §7: 7.8 FO4 at 100nm corresponds to ~3.6 GHz.
+	if got := c.FrequencyHz(Tech100nm); !almost(got, 3.56e9, 0.05e9) {
+		t.Errorf("FrequencyHz = %v, want ~3.56 GHz", got)
+	}
+	// Vector optimum: 4 + 1.8 = 5.8 FO4 → ~4.8 GHz at 100nm.
+	v := Clock{Useful: 4, Overhead: PaperOverhead}
+	if got := v.FrequencyHz(Tech100nm); !almost(got, 4.79e9, 0.06e9) {
+		t.Errorf("vector FrequencyHz = %v, want ~4.8 GHz", got)
+	}
+}
+
+func TestAlpha21264UsefulFO4(t *testing.T) {
+	// 1250 ps / 64.8 ps = 19.3 FO4 period; 90% useful = 17.4 FO4, the value
+	// in the last row of Table 3.
+	if got := Alpha21264UsefulFO4(); !almost(got, 17.4, 0.05) {
+		t.Errorf("Alpha21264UsefulFO4 = %v, want ~17.4", got)
+	}
+}
+
+func TestCyclesForWorkTable3FunctionalUnits(t *testing.T) {
+	// Table 3's functional-unit grid follows exactly from
+	// ceil(alphaCycles × 17.4 / t_useful). Spot-check every operation class
+	// at several clocks against the published values.
+	w := Alpha21264UsefulFO4()
+	type row struct {
+		alphaCycles int
+		want        map[float64]int // t_useful → cycles
+	}
+	rows := map[string]row{
+		"intAdd":  {1, map[float64]int{2: 9, 3: 6, 4: 5, 5: 4, 6: 3, 8: 3, 9: 2, 15: 2}},
+		"intMult": {7, map[float64]int{2: 61, 3: 41, 4: 31, 5: 25, 6: 21, 7: 18, 8: 16, 12: 11, 16: 8}},
+		"fpAdd":   {4, map[float64]int{2: 35, 3: 24, 4: 18, 5: 14, 6: 12, 8: 9, 10: 7, 16: 5}},
+		"fpDiv":   {12, map[float64]int{2: 105, 3: 70, 4: 53, 5: 42, 6: 35, 8: 27, 12: 18, 16: 14}},
+		"fpSqrt":  {18, map[float64]int{2: 157, 3: 105, 4: 79, 5: 63, 6: 53, 8: 40, 12: 27, 16: 20}},
+	}
+	for name, r := range rows {
+		for tu, want := range r.want {
+			c := Clock{Useful: tu, Overhead: PaperOverhead}
+			if got := c.CyclesForWork(float64(r.alphaCycles) * w); got != want {
+				t.Errorf("%s at t_useful=%v: got %d cycles, want %d", name, tu, got, want)
+			}
+		}
+	}
+}
+
+func TestCyclesForWorkProperties(t *testing.T) {
+	// Property: cycles is monotonically non-increasing in t_useful and
+	// non-decreasing in work, and always ≥ 1.
+	f := func(workRaw, t1Raw, t2Raw float64) bool {
+		work := math.Mod(math.Abs(workRaw), 500)
+		t1 := 2 + math.Mod(math.Abs(t1Raw), 14)
+		t2 := 2 + math.Mod(math.Abs(t2Raw), 14)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		c1 := Clock{Useful: t1}.CyclesForWork(work)
+		c2 := Clock{Useful: t2}.CyclesForWork(work)
+		return c1 >= c2 && c2 >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclesForWorkPanicsOnZeroUseful(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for Useful=0")
+		}
+	}()
+	Clock{Useful: 0}.CyclesForWork(10)
+}
+
+func TestOptimalLineNearCurrentDesigns(t *testing.T) {
+	// Figure 1's observation: the 2002-era clock period already approaches
+	// the 7.8 FO4 optimum (within ~2x, versus ~11x for 1990).
+	last := IntelHistory[len(IntelHistory)-1].PeriodFO4()
+	if ratio := last / OptimalClockPeriodFO4; ratio > 2 {
+		t.Errorf("2002 period is %.1fx the optimum; expected < 2x", ratio)
+	}
+}

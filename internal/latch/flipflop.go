@@ -1,0 +1,144 @@
+package latch
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// This file extends the Section 2 experiments with the comparison the
+// paper cites to justify its latch choice: Heo, Krashinsky and Asanović
+// (and Stojanović & Oklobdžija) show that a level-sensitive pulse latch
+// has lower overhead than an edge-triggered master-slave flip-flop. We
+// build the flip-flop from two back-to-back pulse-latch stages clocked on
+// opposite phases and measure its D-Q overhead with the same
+// failure-point methodology, so the two numbers are directly comparable.
+
+// MSFlipFlop adds a master-slave D flip-flop: a master latch transparent
+// while the clock is low feeding a slave latch transparent while the clock
+// is high. Returns the master storage node and the flip-flop output.
+func msFlipFlop(c *circuit.Circuit, vdd, d, clk, clkBar circuit.Node, size float64) (master, q circuit.Node) {
+	// Master: transparent when clk low.
+	mStore, mQ := c.PulseLatch(vdd, d, clkBar, clk, size)
+	// Slave: transparent when clk high, capturing the master's output.
+	_, q = c.PulseLatch(vdd, mQ, clk, clkBar, size)
+	return mStore, q
+}
+
+// ffBench is the flip-flop testbench mirroring the latch bench of
+// Figure 3: buffered clock and data, output loaded by a turned-on latch.
+type ffBench struct {
+	c          *circuit.Circuit
+	dIn, clkIn circuit.Node
+	dFF        circuit.Node
+	q          circuit.Node
+}
+
+func buildFFBench(p circuit.Params) *ffBench {
+	c := circuit.New(p)
+	vdd := c.VDDNode()
+
+	dIn := c.Node("d_src")
+	clkIn := c.Node("clk_src")
+
+	dMid, _ := c.InverterChain(vdd, dIn, 5, 1, "dbuf")
+	dBuf := c.Node("dbuf_f")
+	c.Inverter(vdd, dMid, dBuf, 4)
+
+	clkMid, _ := c.InverterChain(vdd, clkIn, 4, 1, "cbuf")
+	clkBar := c.Node("clkbar")
+	c.Inverter(vdd, clkMid, clkBar, 2)
+	clkB := c.Node("clkb")
+	c.Inverter(vdd, clkBar, clkB, 4)
+
+	_, q := msFlipFlop(c, vdd, dBuf, clkB, clkBar, 0.7)
+
+	on := c.Node("tg_on")
+	off := c.Node("tg_off")
+	c.V(on, circuit.DC(p.VDD))
+	c.V(off, circuit.DC(0))
+	c.PulseLatch(vdd, q, on, off, 1)
+
+	return &ffBench{c: c, dIn: dIn, clkIn: clkIn, dFF: dBuf, q: q}
+}
+
+// ffTrial runs one capture trial for the flip-flop. The flip-flop samples
+// on the rising clock edge at clkRise: the master is transparent before
+// the edge (clock low) and the slave launches Q after it.
+func ffTrial(p circuit.Params, clkRise, dEdge float64) (held bool, dq float64) {
+	b := buildFFBench(p)
+	const edge = 15
+	stop := clkRise + 320
+	// A single rising edge; the clock stays high long enough to observe Q.
+	b.c.V(b.clkIn, circuit.PWL{
+		{T: 0, V: 0}, {T: clkRise, V: 0}, {T: clkRise + edge, V: p.VDD},
+		{T: stop, V: p.VDD},
+	})
+	b.c.V(b.dIn, circuit.Step(0, p.VDD, dEdge, edge))
+	res := b.c.SimulateSettled(800, stop, simDt)
+
+	// Two inverting latch stages: Q carries D's polarity after capture.
+	held = res.FinalVoltage(b.q) > 0.8*p.VDD
+
+	// Before the first capture the slave output idles at the metastable
+	// midpoint (exactly VDD/2 by symmetry), so the output crossing is
+	// detected at 0.75·VDD on the way to a full high.
+	half := p.VDD / 2
+	tD, okD := res.CrossTime(b.dFF, half, true, 0)
+	tQ, okQ := res.CrossTime(b.q, 0.75*p.VDD, true, tD)
+	if okD && okQ {
+		dq = tQ - tD
+	} else {
+		dq = math.Inf(1)
+	}
+	return held, dq
+}
+
+// FlipFlopComparison is the latch-choice study: the same overhead metric
+// for the pulse latch and the master-slave flip-flop.
+type FlipFlopComparison struct {
+	FO4Ps         float64
+	PulseLatch    OverheadResult
+	FlipFlopPs    float64 // min passing D-Q for the flip-flop
+	FlipFlopFO4   float64
+	FlipFlopSetup float64 // latest passing edge offset, ps
+	OverheadRatio float64 // flip-flop overhead / pulse-latch overhead
+}
+
+// MeasureFlipFlopOverhead sweeps the data edge toward the flip-flop's
+// sampling (rising) clock edge and reports the smallest passing D-Q delay,
+// mirroring MeasureLatchOverhead's methodology.
+func MeasureFlipFlopOverhead(p circuit.Params, step float64) FlipFlopComparison {
+	if step <= 0 {
+		step = 1.0
+	}
+	cmp := FlipFlopComparison{
+		FO4Ps:      MeasureFO4(p),
+		PulseLatch: MeasureLatchOverhead(p, step),
+	}
+
+	const clkRise = 300.0
+	minDQ := math.Inf(1)
+	lastPass := math.Inf(-1)
+	sawPass := false
+	for off := -160.0; off <= 40.0; off += step {
+		held, dq := ffTrial(p, clkRise, clkRise+off)
+		if held {
+			if dq < minDQ {
+				minDQ = dq
+			}
+			lastPass = off
+			sawPass = true
+		} else if sawPass {
+			break
+		}
+	}
+	if math.IsInf(minDQ, 1) {
+		panic("latch: flip-flop never captured; testbench is broken")
+	}
+	cmp.FlipFlopPs = minDQ
+	cmp.FlipFlopFO4 = minDQ / cmp.FO4Ps
+	cmp.FlipFlopSetup = lastPass
+	cmp.OverheadRatio = cmp.FlipFlopFO4 / cmp.PulseLatch.OverheadFO4
+	return cmp
+}

@@ -1,0 +1,33 @@
+package latch
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestFlipFlopOverheadExceedsPulseLatch(t *testing.T) {
+	// The comparison behind the paper's latch choice (Section 2, citing
+	// Stojanović & Oklobdžija and Heo et al.): an edge-triggered
+	// master-slave flip-flop pays substantially more D-Q overhead than a
+	// level-sensitive pulse latch — two latch stages instead of one.
+	cmp := MeasureFlipFlopOverhead(circuit.Params100nm, 4.0)
+	if cmp.FlipFlopFO4 <= cmp.PulseLatch.OverheadFO4 {
+		t.Errorf("flip-flop overhead (%.2f FO4) not above pulse latch (%.2f FO4)",
+			cmp.FlipFlopFO4, cmp.PulseLatch.OverheadFO4)
+	}
+	if cmp.OverheadRatio < 1.5 || cmp.OverheadRatio > 5 {
+		t.Errorf("flip-flop/latch overhead ratio = %.2f, want 1.5–5x", cmp.OverheadRatio)
+	}
+	// An edge-triggered element still needs data before its sampling edge.
+	if cmp.FlipFlopSetup > 20 {
+		t.Errorf("flip-flop setup = %.0f ps after the edge; implausible", cmp.FlipFlopSetup)
+	}
+}
+
+func TestFlipFlopRejectsLateData(t *testing.T) {
+	held, _ := ffTrial(circuit.Params100nm, 300, 340)
+	if held {
+		t.Error("flip-flop captured data arriving 40 ps after the sampling edge")
+	}
+}

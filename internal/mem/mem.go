@@ -1,0 +1,231 @@
+// Package mem simulates the data-side memory hierarchy: set-associative
+// L1 and L2 caches with LRU replacement over a flat main memory, plus the
+// Section 4.2 "Cray-1S" mode in which there are no caches at all and every
+// access pays a flat memory latency. The hierarchy decides *where* an
+// access hits; the pipeline simulators translate the level into cycles
+// using the clock-resolved Timing.
+package mem
+
+// Level says where an access was satisfied.
+type Level uint8
+
+const (
+	L1Hit Level = iota
+	L2Hit
+	Memory
+)
+
+func (l Level) String() string {
+	switch l {
+	case L1Hit:
+		return "L1"
+	case L2Hit:
+		return "L2"
+	default:
+		return "memory"
+	}
+}
+
+// Cache is one set-associative cache level with LRU replacement.
+type Cache struct {
+	sets      int
+	assoc     int
+	blockBits uint
+
+	tags  []uint64 // sets × assoc; 0 means empty (tag 0 is remapped)
+	used  []uint64 // LRU timestamps
+	clock uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewCache builds a cache of the given capacity, block size and
+// associativity. Capacity must be a multiple of block×assoc.
+func NewCache(capacityBytes, blockBytes, assoc int) *Cache {
+	if capacityBytes <= 0 || blockBytes <= 0 || assoc <= 0 {
+		panic("mem: cache dimensions must be positive")
+	}
+	if capacityBytes%(blockBytes*assoc) != 0 {
+		panic("mem: capacity must be a multiple of block size × associativity")
+	}
+	sets := capacityBytes / (blockBytes * assoc)
+	bits := uint(0)
+	for 1<<bits < blockBytes {
+		bits++
+	}
+	if 1<<bits != blockBytes {
+		panic("mem: block size must be a power of two")
+	}
+	return &Cache{
+		sets:      sets,
+		assoc:     assoc,
+		blockBits: bits,
+		tags:      make([]uint64, sets*assoc),
+		used:      make([]uint64, sets*assoc),
+	}
+}
+
+// Access looks addr up, filling the block on a miss, and reports whether
+// it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	c.clock++
+	block := addr >> c.blockBits
+	tag := block + 1 // avoid the zero (empty) tag
+	set := int(block % uint64(c.sets))
+	base := set * c.assoc
+
+	victim, oldest := base, c.used[base]
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			c.used[i] = c.clock
+			return true
+		}
+		if c.used[i] < oldest {
+			victim, oldest = i, c.used[i]
+		}
+	}
+	c.Misses++
+	c.tags[victim] = tag
+	c.used[victim] = c.clock
+	return false
+}
+
+// install places addr's block in the cache without counting it as a demand
+// access (used by the prefetcher).
+func (c *Cache) install(addr uint64) {
+	c.clock++
+	block := addr >> c.blockBits
+	tag := block + 1
+	set := int(block % uint64(c.sets))
+	base := set * c.assoc
+	victim, oldest := base, c.used[base]
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			return // already present; leave recency alone
+		}
+		if c.used[i] < oldest {
+			victim, oldest = i, c.used[i]
+		}
+	}
+	c.tags[victim] = tag
+	c.used[victim] = c.clock
+}
+
+// MissRate returns the miss fraction so far.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.used[i] = 0
+	}
+	c.clock = 0
+	c.Accesses = 0
+	c.Misses = 0
+}
+
+// Hierarchy is the data-side cache stack.
+type Hierarchy struct {
+	L1, L2 *Cache
+	Flat   bool // Cray-1S mode: no caches, everything goes to memory
+
+	// Prefetch enables a next-line prefetcher: on an L1 miss (or on
+	// entering a previously prefetched line) the following cache line is
+	// installed in both levels. This stands in for the software prefetching
+	// in the paper's compiled SPEC binaries. Coverage is the fraction of
+	// prefetch opportunities actually taken (software prefetching is
+	// imperfect — a property of the benchmark's code, carried on the
+	// trace); opportunities are skipped deterministically.
+	Prefetch bool
+	Coverage float64
+
+	Prefetches uint64
+	pfAccum    float64
+}
+
+// NewHierarchy builds an L1+L2 stack with next-line prefetching enabled at
+// full coverage.
+func NewHierarchy(l1, l2 *Cache) *Hierarchy {
+	return &Hierarchy{L1: l1, L2: l2, Prefetch: true, Coverage: 1.0}
+}
+
+// NewFlat builds the cacheless Cray-1S memory system.
+func NewFlat() *Hierarchy { return &Hierarchy{Flat: true} }
+
+// Access performs a data access (loads and stores are treated alike:
+// write-allocate, and writeback traffic is not modeled) and returns the
+// level that satisfied it.
+func (h *Hierarchy) Access(addr uint64) Level {
+	if h.Flat {
+		return Memory
+	}
+	if h.L1.Access(addr) {
+		// Tagged sequential prefetch: an access entering a new line (its
+		// first word) keeps the prefetcher running ahead of a stream even
+		// though the line itself hit (it was prefetched earlier).
+		if h.Prefetch && addr&(uint64(1)<<h.L1.blockBits-1) < 8 {
+			h.prefetchNext(addr)
+		}
+		return L1Hit
+	}
+	lvl := L2Hit
+	if !h.L2.Access(addr) {
+		lvl = Memory
+	}
+	if h.Prefetch {
+		h.prefetchNext(addr)
+	}
+	return lvl
+}
+
+// prefetchNext installs the line after addr's into both levels, honouring
+// the coverage fraction deterministically.
+func (h *Hierarchy) prefetchNext(addr uint64) {
+	h.pfAccum += h.Coverage
+	if h.pfAccum < 1 {
+		return
+	}
+	h.pfAccum -= 1
+	next := addr + uint64(1)<<h.L1.blockBits
+	h.L1.install(next)
+	h.L2.install(next)
+	h.Prefetches++
+}
+
+// Prewarm installs the hot and warm working-set tiers, modeling the cache
+// state a benchmark reaches after the paper's 500M skipped instructions.
+// The hot tier lands in both levels; the warm tier in the L2 (bounded by
+// its capacity under LRU).
+func (h *Hierarchy) Prewarm(hotBytes, warmBytes uint64) {
+	if h.Flat {
+		return
+	}
+	block := uint64(1) << h.L2.blockBits
+	for a := uint64(0); a < warmBytes; a += block {
+		h.L2.install(a)
+	}
+	for a := uint64(0); a < hotBytes; a += block {
+		h.L1.install(a)
+		h.L2.install(a)
+	}
+}
+
+// Reset clears both levels.
+func (h *Hierarchy) Reset() {
+	if h.L1 != nil {
+		h.L1.Reset()
+	}
+	if h.L2 != nil {
+		h.L2.Reset()
+	}
+}

@@ -1,0 +1,160 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func TestCacheBasicHitMiss(t *testing.T) {
+	c := NewCache(1024, 64, 2) // 8 sets × 2 ways
+	if c.Access(0) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Error("repeat access missed")
+	}
+	if !c.Access(32) {
+		t.Error("same-block access missed")
+	}
+	if c.Access(4096) {
+		t.Error("distinct block hit cold")
+	}
+}
+
+func TestCacheLRUWithinSet(t *testing.T) {
+	c := NewCache(2*64, 64, 2) // one set, two ways
+	c.Access(0)                // block A
+	c.Access(64)               // block B
+	c.Access(0)                // touch A — B becomes LRU
+	c.Access(128)              // block C evicts B
+	if !c.Access(0) {
+		t.Error("A evicted though it was MRU")
+	}
+	if c.Access(64) {
+		t.Error("B survived though it was LRU")
+	}
+}
+
+func TestCacheCapacityBehaviour(t *testing.T) {
+	// Sequentially touching twice the capacity with direct re-walk gives
+	// ~100% misses on the second pass (LRU, working set > capacity).
+	c := NewCache(8<<10, 64, 2)
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 16<<10; a += 64 {
+			c.Access(a)
+		}
+	}
+	if mr := c.MissRate(); mr < 0.95 {
+		t.Errorf("thrash miss rate = %.3f, want ~1", mr)
+	}
+	// A working set half the capacity gives ~0% misses after the first pass.
+	c.Reset()
+	for a := uint64(0); a < 4<<10; a += 64 {
+		c.Access(a)
+	}
+	c.Accesses, c.Misses = 0, 0
+	for pass := 0; pass < 5; pass++ {
+		for a := uint64(0); a < 4<<10; a += 64 {
+			c.Access(a)
+		}
+	}
+	if mr := c.MissRate(); mr > 0.01 {
+		t.Errorf("resident miss rate = %.3f, want ~0", mr)
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := NewHierarchy(NewCache(1<<10, 64, 2), NewCache(8<<10, 64, 2))
+	if lvl := h.Access(0); lvl != Memory {
+		t.Errorf("cold access = %v, want memory", lvl)
+	}
+	if lvl := h.Access(0); lvl != L1Hit {
+		t.Errorf("hot access = %v, want L1", lvl)
+	}
+	// Evict from L1 (1KB) but not L2 (8KB): walk 4KB, then re-touch 0.
+	for a := uint64(64); a < 4<<10; a += 64 {
+		h.Access(a)
+	}
+	if lvl := h.Access(0); lvl != L2Hit {
+		t.Errorf("L1-evicted access = %v, want L2", lvl)
+	}
+}
+
+func TestFlatHierarchy(t *testing.T) {
+	h := NewFlat()
+	for i := 0; i < 10; i++ {
+		if lvl := h.Access(uint64(i * 8)); lvl != Memory {
+			t.Errorf("flat access = %v, want memory", lvl)
+		}
+	}
+}
+
+func TestSPECWorkloadMissRates(t *testing.T) {
+	// Group character under the 21264 hierarchy (64KB L1, 2MB L2):
+	// mcf (64MB pointer chasing) misses much more than eon (512KB resident).
+	missRate := func(name string) (l1, l2 float64) {
+		p, ok := trace.ByName(name)
+		if !ok {
+			t.Fatalf("no profile %s", name)
+		}
+		tr := p.Generate(200000, 5)
+		h := NewHierarchy(NewCache(64<<10, 64, 2), NewCache(2<<20, 64, 2))
+		for _, in := range tr.Insts {
+			if in.Class.IsMem() {
+				h.Access(in.Addr)
+			}
+		}
+		return h.L1.MissRate(), h.L2.MissRate()
+	}
+	mcfL1, mcfL2 := missRate("181.mcf")
+	eonL1, _ := missRate("252.eon")
+	if mcfL1 < 3*eonL1 {
+		t.Errorf("mcf L1 miss rate (%.3f) not ≫ eon (%.3f)", mcfL1, eonL1)
+	}
+	if mcfL2 < 0.3 {
+		t.Errorf("mcf L2 miss rate = %.3f; its 64MB footprint should bust a 2MB L2", mcfL2)
+	}
+	swimL1, _ := missRate("171.swim")
+	if swimL1 > 0.5 {
+		t.Errorf("swim L1 miss rate = %.3f; streaming code should mostly hit lines", swimL1)
+	}
+	_ = isa.Load
+}
+
+func TestCacheProperties(t *testing.T) {
+	// Property: immediately re-accessing any address hits; statistics stay
+	// consistent.
+	f := func(addrs []uint64) bool {
+		c := NewCache(4<<10, 64, 4)
+		for _, a := range addrs {
+			c.Access(a)
+			if !c.Access(a) {
+				return false
+			}
+		}
+		return c.Misses <= c.Accesses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewCachePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero capacity": func() { NewCache(0, 64, 2) },
+		"non-multiple":  func() { NewCache(1000, 64, 2) },
+		"non-pow2":      func() { NewCache(960, 48, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,56 @@
+// Package metrics holds the small numeric utilities the experiments share:
+// harmonic means (the paper aggregates benchmark performance harmonically),
+// BIPS computation, series normalization and argmax helpers.
+package metrics
+
+import "math"
+
+// HarmonicMean returns the harmonic mean of xs. It panics if any value is
+// non-positive (a benchmark with zero performance would make the mean
+// meaningless) and returns NaN for an empty slice.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	inv := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("metrics: harmonic mean of non-positive value")
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv
+}
+
+// ArgMax returns the index of the maximum value (first occurrence).
+func ArgMax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Normalize returns xs scaled so that xs[ref] becomes 1.0.
+func Normalize(xs []float64, ref int) []float64 {
+	out := make([]float64, len(xs))
+	base := xs[ref]
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}
+
+// WithinFrac reports whether a is within frac (relative) of b.
+func WithinFrac(a, b, frac float64) bool {
+	if b == 0 {
+		return a == 0
+	}
+	return math.Abs(a-b) <= math.Abs(b)*frac
+}
+
+// BIPS converts an IPC at a clock frequency (Hz) into billions of
+// instructions per second.
+func BIPS(ipc, freqHz float64) float64 { return ipc * freqHz / 1e9 }

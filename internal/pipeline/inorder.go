@@ -1,0 +1,147 @@
+package pipeline
+
+import (
+	"repro/internal/branch"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// runInOrder simulates the Section 4.1 machine: a seven-stage in-order
+// pipeline (fetch, decode, issue, register read, execute, write back,
+// commit) with the Alpha 21264's widths, scaled in depth exactly like the
+// out-of-order core. Because issue is in program order, the simulation is
+// a timestamp recurrence: each instruction issues at the earliest cycle
+// that satisfies program order, issue bandwidth, operand readiness (with
+// full bypass), and fetch delivery — no issue window exists.
+func runInOrder(p Params, tr *trace.Trace) Stats {
+	m := p.Machine
+	tmg := p.Timing
+	insts := tr.Insts
+	n := len(insts)
+	if n == 0 {
+		panic("pipeline: empty trace")
+	}
+
+	pred := branch.New()
+	hier := newHierarchy(m)
+	hier.Coverage = tr.PrefetchCoverage
+	hier.Prewarm(tr.HotBytes, tr.WarmBytes)
+	stats := Stats{}
+
+	frontDepth := int64(maxInt(tmg.IL1, tmg.BPred) + 1) // fetch + decode
+	commitDepth := int64(tmg.RegRead + 1 + 1)           // regread + wb + commit
+
+	dataAt := make([]int64, n) // result availability for consumers
+
+	var (
+		fetchCycle   int64 // cycle the current fetch group started
+		fetchInGroup int   // instructions fetched this cycle
+		issueCycle   int64 // last issue cycle assigned
+		issueInCycle int   // instructions issued in issueCycle
+		fpInCycle    int
+		lastCommit   int64
+		prevCommit   int64
+		warmCycle    int64 = -1
+		warmIdx            = p.Warmup
+	)
+	if warmIdx >= n {
+		warmIdx = 0
+	}
+
+	for i := 0; i < n; i++ {
+		in := insts[i]
+
+		// ---- Fetch: bandwidth FetchWidth per cycle; a taken branch ends
+		// the group; a mispredicted branch stalls fetch until it resolves
+		// and the front end refills.
+		if fetchInGroup >= m.FetchWidth {
+			fetchCycle++
+			fetchInGroup = 0
+		}
+		myFetch := fetchCycle
+		fetchInGroup++
+
+		// ---- Issue: in order, at most IntIssue+FPIssue per cycle with at
+		// most FPIssue floating-point operations among them; operands must
+		// be ready (full bypass from any producer).
+		earliest := myFetch + frontDepth + 1 // decode → issue stage
+		if earliest < issueCycle {
+			earliest = issueCycle
+		}
+		ready := earliest
+		if in.Src1 >= 0 && dataAt[in.Src1] > ready {
+			ready = dataAt[in.Src1]
+		}
+		if in.Src2 >= 0 && dataAt[in.Src2] > ready {
+			ready = dataAt[in.Src2]
+		}
+
+		// Find a cycle with issue bandwidth left.
+		isFP := in.Class.IsFP()
+		for {
+			if ready > issueCycle {
+				issueCycle = ready
+				issueInCycle = 0
+				fpInCycle = 0
+			}
+			if issueInCycle < m.IntIssue+m.FPIssue && (!isFP || fpInCycle < m.FPIssue) {
+				break
+			}
+			ready = issueCycle + 1
+		}
+		issueInCycle++
+		if isFP {
+			fpInCycle++
+		}
+		issued := issueCycle
+
+		// ---- Execute.
+		lat := execLatency(p, in, hier, &stats)
+		dataAt[i] = issued + lat
+
+		// ---- Branches: resolve at execute; a misprediction stalls fetch
+		// until resolution plus the redirect.
+		if in.Class == isa.Branch {
+			guess := pred.Predict(in.PC)
+			pred.Update(in.PC, in.Taken, guess)
+			if m.PerfectBranches {
+				guess = in.Taken
+			}
+			stats.BranchLookups++
+			if guess != in.Taken {
+				stats.BranchMispredict++
+				restart := issued + lat + 1 + int64(p.ExtraMispredict)
+				if restart > fetchCycle {
+					fetchCycle = restart
+					fetchInGroup = 0
+				}
+			} else if in.Taken {
+				// Correctly predicted taken branch: fetch group ends.
+				fetchCycle++
+				fetchInGroup = 0
+			}
+		}
+
+		// ---- Commit: in order.
+		c := dataAt[i] + commitDepth
+		if c < prevCommit {
+			c = prevCommit
+		}
+		prevCommit = c
+		lastCommit = c
+		if i == warmIdx {
+			warmCycle = c
+		}
+	}
+
+	total := uint64(n - warmIdx)
+	if warmCycle < 0 {
+		warmCycle = 0
+		total = uint64(n)
+	}
+	cycles := uint64(lastCommit - warmCycle + 1)
+	stats.Instructions = total
+	stats.Cycles = cycles
+	stats.IPC = float64(total) / float64(cycles)
+	return stats
+}

@@ -1,0 +1,536 @@
+// Package pipeline contains the cycle-level processor simulators at the
+// heart of the reproduction: a dynamically scheduled (out-of-order) core
+// modeled on the Alpha 21264 and an in-order variant of the same machine
+// (Section 4.1). Both take their structure and operation latencies from a
+// clock-resolved config.Timing, so scaling the pipeline depth is exactly
+// the paper's methodology: pick a useful-FO4-per-stage value, derive every
+// latency in cycles, and measure the IPC that survives.
+//
+// The out-of-order core models the critical loops the paper studies:
+//
+//   - the issue-wakeup loop: a dependent instruction can issue no earlier
+//     than its producer's issue plus max(execution latency, wakeup-loop
+//     length), where the loop length is the issue window's access latency
+//     plus any Figure 8 extension;
+//   - the load-use loop: loads resolve through the simulated cache
+//     hierarchy, and consumers wait on the level that actually served them;
+//   - the branch-resolution loop: mispredictions (from the simulated
+//     tournament predictor) stall fetch until the branch executes, then
+//     refill the front end, whose depth grows with clock frequency.
+//
+// Section 5's segmented instruction window is modeled structurally: tags
+// walk one window segment per cycle, the window compacts oldest-first each
+// cycle, and the partitioned selection scheme (Figure 12) limits how many
+// instructions the upper stages may pre-select, one cycle ahead of the
+// final selection.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/branch"
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Params configures one simulation run.
+type Params struct {
+	Machine config.Machine
+	Timing  config.Timing
+
+	// Critical-loop extensions in cycles over the resolved latencies
+	// (Figure 8 scales these over the Alpha 21264 baseline).
+	ExtraWakeup     int
+	ExtraLoadUse    int
+	ExtraMispredict int
+
+	// WindowStages pipelines the issue window's wakeup into this many
+	// segments (Figure 10/11). 0 or 1 means a conventional single-segment
+	// window.
+	WindowStages int
+
+	// PreSelect, when non-nil, enables the Figure 12 partitioned selection
+	// scheme: entry i is the maximum number of instructions stage i+2 may
+	// pre-select per cycle (the paper uses {5, 2, 1} for a 4-stage window).
+	// Pre-selected instructions reach the final selector one cycle later;
+	// stage 1 is always fully visible to the selector.
+	PreSelect []int
+
+	// NaivePipelining, when true, models the pessimistic window pipelining
+	// Stark et al. argue against: the wakeup loop simply grows to
+	// WindowStages cycles for every dependence, preventing back-to-back
+	// issue of dependent instructions.
+	NaivePipelining bool
+
+	// Warmup is the number of leading instructions excluded from the
+	// reported IPC (caches and predictor still train on them).
+	Warmup int
+}
+
+// Stats is the outcome of a run.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+
+	BranchLookups    uint64
+	BranchMispredict uint64
+	L1Hits           uint64
+	L2Hits           uint64
+	MemAccesses      uint64
+	WindowFullStalls uint64
+	ROBFullStalls    uint64
+
+	// Diagnostics (out-of-order core only).
+	SimCycles          uint64 // total simulated cycles including warmup
+	SumWindowOcc       uint64 // window occupancy summed per cycle
+	SumIssued          uint64 // instructions issued summed per cycle
+	FetchBlockedCycles uint64 // cycles fetch was stalled on a mispredict
+}
+
+// AvgWindowOcc returns the mean issue-window occupancy per cycle.
+func (s Stats) AvgWindowOcc() float64 {
+	if s.SimCycles == 0 {
+		return 0
+	}
+	return float64(s.SumWindowOcc) / float64(s.SimCycles)
+}
+
+// Run simulates tr on the configured machine and returns its statistics.
+func Run(p Params, tr *trace.Trace) Stats {
+	if p.Machine.InOrder {
+		return runInOrder(p, tr)
+	}
+	return runOutOfOrder(p, tr)
+}
+
+const pending = math.MaxInt64
+
+// winEntry is one issue-window slot.
+type winEntry struct {
+	idx          int32 // trace index
+	wake1, wake2 int64 // cycle each operand becomes visible; pending if waiting on broadcast
+	src1, src2   int32 // producer indices still awaited (-1 once resolved)
+	preSelected  bool  // latched by a pre-selection block (Figure 12)
+}
+
+func runOutOfOrder(p Params, tr *trace.Trace) Stats {
+	m := p.Machine
+	tmg := p.Timing
+	insts := tr.Insts
+	n := len(insts)
+	if n == 0 {
+		panic("pipeline: empty trace")
+	}
+	stages := p.WindowStages
+	if stages < 1 {
+		stages = 1
+	}
+
+	// Issue queues: the 21264's separate integer and floating-point queues
+	// by default, or one shared window when UnifiedWindow is set (the
+	// Section 5 experiments use a unified 32-entry window). Segmentation
+	// divides each queue into equal stages.
+	var queues []*issueQueue
+	if m.UnifiedWindow > 0 {
+		queues = []*issueQueue{newIssueQueue(m.UnifiedWindow, stages)}
+	} else {
+		if m.IntWindow <= 0 || m.FPWindow <= 0 {
+			panic("pipeline: machine needs issue-queue capacities")
+		}
+		queues = []*issueQueue{
+			newIssueQueue(m.IntWindow, stages),
+			newIssueQueue(m.FPWindow, stages),
+		}
+	}
+	queueFor := func(cl isa.Class) *issueQueue {
+		if len(queues) == 2 && cl.IsFP() {
+			return queues[1]
+		}
+		return queues[0]
+	}
+
+	pred := branch.New()
+	hier := newHierarchy(m)
+	hier.Coverage = tr.PrefetchCoverage
+	hier.Prewarm(tr.HotBytes, tr.WarmBytes)
+
+	// Per-instruction dynamic state.
+	dataAt := make([]int64, n)     // cycle a consumer may issue (post-bypass)
+	completeAt := make([]int64, n) // cycle the instruction has executed
+	for i := range dataAt {
+		dataAt[i] = pending
+		completeAt[i] = pending
+	}
+
+	// Front-end depth in cycles: fetch (instruction cache / predictor),
+	// decode, rename, dispatch.
+	frontDepth := maxInt(tmg.IL1, tmg.BPred) + 1 + tmg.Rename + 1
+	wakeLoop := int64(tmg.Window + p.ExtraWakeup)
+	if p.NaivePipelining {
+		wakeLoop = int64(stages) + int64(p.ExtraWakeup)
+	}
+
+	// Frontend queue between fetch and dispatch.
+	type fq struct {
+		idx     int32
+		readyAt int64
+	}
+	frontQ := make([]fq, 0, 64)
+	stats := Stats{}
+
+	var (
+		cycle       int64
+		fetchIdx    int   // next trace index to fetch
+		head        int   // oldest in-flight (ROB head)
+		commitAt          = make([]int64, n)
+		fetchBlock  int32 = -1 // mispredicted branch blocking fetch
+		warmCycle   int64 = -1
+		warmIdx           = p.Warmup
+		lastHead          = -1
+		stuckCycles int64
+	)
+	if warmIdx >= n {
+		warmIdx = 0
+	}
+	for i := range commitAt {
+		commitAt[i] = pending
+	}
+
+	// issueBudget per class cluster, reset each cycle.
+	for head < n {
+		// ---- Commit: oldest first, up to CommitWidth, completed only.
+		committed := 0
+		for head < n && committed < m.CommitWidth &&
+			completeAt[head] != pending && completeAt[head] < cycle {
+			commitAt[head] = cycle
+			if head == warmIdx && warmCycle < 0 {
+				warmCycle = cycle
+			}
+			head++
+			committed++
+		}
+
+		// ---- Selection and issue. Pre-selection latches (Figure 12) were
+		// set at the end of the previous cycle via preSelected flags.
+		intBudget, fpBudget := m.IntIssue, m.FPIssue
+		issuedAny := false
+		for _, q := range queues {
+			stats.SumWindowOcc += uint64(len(q.entries))
+			issued := issueSelect(p, insts, q, cycle, &intBudget, &fpBudget, stages, dataAt)
+			stats.SumIssued += uint64(len(issued))
+			for _, w := range issued {
+				issuedAny = true
+				in := insts[w.idx]
+				lat := execLatency(p, in, hier, &stats)
+				completeAt[w.idx] = cycle + lat
+				d := cycle + maxInt64(lat, wakeLoop)
+				dataAt[w.idx] = d
+				// Broadcast: wake dependents still waiting in any queue.
+				// With a segmented window the tag reaches segment s at
+				// d + s, so a consumer sitting in segment s when the
+				// producer issues sees its operand s cycles later (stage 1
+				// sees it immediately, preserving back-to-back issue for
+				// the oldest instructions).
+				for _, dq := range queues {
+					for wi := range dq.entries {
+						e := &dq.entries[wi]
+						seg := int64(0)
+						if stages > 1 && !p.NaivePipelining {
+							seg = int64(wi / dq.segSize)
+						}
+						if e.src1 == w.idx {
+							e.wake1 = d + seg
+							e.src1 = -1
+						}
+						if e.src2 == w.idx {
+							e.wake2 = d + seg
+							e.src2 = -1
+						}
+					}
+				}
+			}
+		}
+		// Remove issued entries; each queue compacts oldest-first at the
+		// start of the next cycle (the paper's collapsing window).
+		if issuedAny {
+			for _, q := range queues {
+				keep := q.entries[:0]
+				for _, e := range q.entries {
+					if dataAt[e.idx] == pending {
+						keep = append(keep, e)
+					}
+				}
+				q.entries = keep
+			}
+		}
+
+		// ---- Pre-selection for next cycle (Figure 12).
+		if p.PreSelect != nil && stages > 1 {
+			for _, q := range queues {
+				markPreSelections(p, q, cycle, stages)
+			}
+		}
+
+		// ---- Dispatch from the frontend queue into the issue queues.
+		dispatchedNow := 0
+		for len(frontQ) > 0 && dispatchedNow < m.FetchWidth {
+			f := frontQ[0]
+			if f.readyAt > cycle {
+				break
+			}
+			in := insts[f.idx]
+			q := queueFor(in.Class)
+			if len(q.entries) >= q.cap {
+				stats.WindowFullStalls++
+				break
+			}
+			if int(f.idx)-head >= m.ROB {
+				stats.ROBFullStalls++
+				break
+			}
+			e := winEntry{idx: f.idx, src1: -1, src2: -1}
+			e.wake1 = resolveOperand(in.Src1, dataAt, completeAt, cycle, &e.src1)
+			e.wake2 = resolveOperand(in.Src2, dataAt, completeAt, cycle, &e.src2)
+			q.entries = append(q.entries, e)
+			frontQ = frontQ[1:]
+			dispatchedNow++
+		}
+
+		// ---- Fetch. A mispredicted branch blocks fetch until it resolves
+		// (plus any Figure 8 extension of the misprediction loop); a
+		// correctly-predicted taken branch just ends the fetch group.
+		if fetchBlock >= 0 && completeAt[fetchBlock] != pending &&
+			completeAt[fetchBlock]+int64(p.ExtraMispredict) <= cycle {
+			fetchBlock = -1 // redirect complete; resume fetch
+		}
+		// The frontend pipeline holds FetchWidth instructions per stage for
+		// frontDepth stages (plus slack for dispatch backpressure).
+		frontCap := m.FetchWidth * (frontDepth + 2)
+		if fetchBlock < 0 {
+			slots := m.FetchWidth
+			for slots > 0 && fetchIdx < n && len(frontQ) < frontCap {
+				in := insts[fetchIdx]
+				frontQ = append(frontQ, fq{idx: int32(fetchIdx), readyAt: cycle + int64(frontDepth)})
+				slots--
+				if in.Class == isa.Branch {
+					guess := pred.Predict(in.PC)
+					pred.Update(in.PC, in.Taken, guess)
+					if m.PerfectBranches {
+						guess = in.Taken
+					}
+					stats.BranchLookups++
+					if guess != in.Taken {
+						stats.BranchMispredict++
+						fetchBlock = int32(fetchIdx)
+						fetchIdx++
+						break
+					}
+					if in.Taken {
+						fetchIdx++
+						break
+					}
+				}
+				fetchIdx++
+			}
+		}
+
+		if fetchBlock >= 0 {
+			stats.FetchBlockedCycles++
+		}
+		stats.SimCycles++
+
+		// ---- Watchdog.
+		if head == lastHead {
+			stuckCycles++
+			if stuckCycles > 1_000_000 {
+				panic(fmt.Sprintf("pipeline: no commit progress at cycle %d (head=%d, frontQ=%d)",
+					cycle, head, len(frontQ)))
+			}
+		} else {
+			lastHead = head
+			stuckCycles = 0
+		}
+		cycle++
+	}
+
+	total := uint64(n - warmIdx)
+	if warmCycle < 0 {
+		warmCycle = 0
+		total = uint64(n)
+	}
+	cycles := uint64(commitAt[n-1] - warmCycle + 1)
+	stats.Instructions = total
+	stats.Cycles = cycles
+	stats.IPC = float64(total) / float64(cycles)
+	return stats
+}
+
+// resolveOperand computes the wake time of one operand at dispatch. If the
+// producer has already issued, the scoreboard covers it and the operand is
+// usable as soon as the value exists (completeAt — the wakeup loop taxes
+// only in-window tag broadcasts, not register-file reads of older results).
+// Otherwise the operand stays pending until the producer's broadcast.
+func resolveOperand(src int32, dataAt, completeAt []int64, cycle int64, slot *int32) int64 {
+	if src < 0 {
+		return 0
+	}
+	if dataAt[src] != pending {
+		if c := completeAt[src]; c > cycle {
+			return c
+		}
+		return 0
+	}
+	*slot = src
+	return pending
+}
+
+// issueQueue is one issue window (or one of the 21264's two queues).
+type issueQueue struct {
+	entries []winEntry
+	cap     int
+	segSize int // entries per wakeup segment
+}
+
+func newIssueQueue(capacity, stages int) *issueQueue {
+	return &issueQueue{
+		entries: make([]winEntry, 0, capacity),
+		cap:     capacity,
+		segSize: (capacity + stages - 1) / stages,
+	}
+}
+
+// issueSelect picks the instructions to issue from one queue this cycle,
+// honouring the shared issue widths, the segmented-wakeup visibility times,
+// and (when enabled) the partitioned selection quotas. It decrements the
+// budgets in place and returns the selected entries, oldest first.
+func issueSelect(p Params, insts []trace.Inst, q *issueQueue, cycle int64,
+	intBudget, fpBudget *int, stages int, dataAt []int64) []winEntry {
+
+	selected := make([]winEntry, 0, *intBudget+*fpBudget)
+	for wi := range q.entries {
+		if *intBudget == 0 && *fpBudget == 0 {
+			break
+		}
+		e := &q.entries[wi]
+		if dataAt[e.idx] != pending {
+			continue // already issued
+		}
+		if e.wake1 == pending || e.wake2 == pending || e.wake1 > cycle || e.wake2 > cycle {
+			continue
+		}
+		// Partitioned selection: instructions beyond stage 1 are only
+		// eligible if a pre-selection block latched them last cycle.
+		if p.PreSelect != nil && stages > 1 && wi >= q.segSize && !e.preSelected {
+			continue
+		}
+		if insts[e.idx].Class.IsFP() {
+			if *fpBudget == 0 {
+				continue
+			}
+			*fpBudget--
+		} else {
+			if *intBudget == 0 {
+				continue
+			}
+			*intBudget--
+		}
+		selected = append(selected, *e)
+	}
+	return selected
+}
+
+// markPreSelections implements the Figure 12 pre-selection blocks: each
+// stage beyond the first examines its ready instructions and latches up to
+// its quota for the selector to consider next cycle.
+func markPreSelections(p Params, q *issueQueue, cycle int64, stages int) {
+	quota := make([]int, stages)
+	for s := 1; s < stages; s++ {
+		n := 0
+		if s-1 < len(p.PreSelect) {
+			n = p.PreSelect[s-1]
+		}
+		quota[s] = n
+	}
+	for wi := range q.entries {
+		e := &q.entries[wi]
+		s := wi / q.segSize
+		if s == 0 {
+			continue
+		}
+		e.preSelected = false
+		if s < stages && quota[s] > 0 &&
+			e.wake1 != pending && e.wake2 != pending &&
+			e.wake1 <= cycle && e.wake2 <= cycle {
+			e.preSelected = true
+			quota[s]--
+		}
+	}
+}
+
+// execLatency returns the total execution latency of an instruction in
+// cycles, resolving loads through the cache hierarchy.
+func execLatency(p Params, in trace.Inst, hier *mem.Hierarchy, stats *Stats) int64 {
+	tmg := p.Timing
+	switch in.Class {
+	case isa.Load:
+		lvl := mem.L1Hit
+		if !p.Machine.PerfectMemory {
+			lvl = hier.Access(in.Addr)
+		}
+		// Table 3's DL1 row is the full load-use latency (the 21264's row
+		// reads 3 cycles, its real load-use delay); L2 and memory
+		// latencies are likewise total hit latencies.
+		var lat int64
+		switch lvl {
+		case mem.L1Hit:
+			stats.L1Hits++
+			lat = int64(tmg.DL1)
+		case mem.L2Hit:
+			stats.L2Hits++
+			lat = int64(tmg.L2)
+		default:
+			stats.MemAccesses++
+			lat = int64(tmg.Mem)
+		}
+		return lat + int64(p.ExtraLoadUse)
+	case isa.Store:
+		if !p.Machine.PerfectMemory {
+			hier.Access(in.Addr)
+		}
+		return int64(tmg.Exec[isa.Store])
+	case isa.Branch:
+		return int64(tmg.Exec[isa.Branch])
+	default:
+		return int64(tmg.Exec[in.Class])
+	}
+}
+
+// newHierarchy builds the machine's data memory system.
+func newHierarchy(m config.Machine) *mem.Hierarchy {
+	if m.Cray1SMemory {
+		return mem.NewFlat()
+	}
+	s := m.Structures
+	return mem.NewHierarchy(
+		mem.NewCache(s.DL1.CapacityBytes, s.DL1.BlockBytes, s.DL1.Assoc),
+		mem.NewCache(s.L2.CapacityBytes, s.L2.BlockBytes, s.L2.Assoc),
+	)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// These tests exercise the public facade end to end, the way the README's
+// quick start does.
+
+func TestQuickstartFlow(t *testing.T) {
+	prof, ok := repro.BenchmarkByName("176.gcc")
+	if !ok {
+		t.Fatal("176.gcc missing from the suite")
+	}
+	tr := prof.Generate(20000, 1)
+
+	machine := repro.Alpha21264()
+	clock := repro.Clock{Useful: 6, Overhead: repro.PaperOverhead}
+	stats := repro.Simulate(repro.SimParams{
+		Machine: machine,
+		Timing:  machine.Resolve(clock),
+		Warmup:  4000,
+	}, tr)
+
+	if stats.IPC <= 0 || stats.IPC > 6 {
+		t.Errorf("IPC = %v out of range", stats.IPC)
+	}
+	if got := clock.PeriodFO4(); got != 7.8 {
+		t.Errorf("period = %v FO4, want 7.8", got)
+	}
+}
+
+func TestSuiteAccessors(t *testing.T) {
+	if n := len(repro.SPEC2000()); n != 18 {
+		t.Errorf("suite size = %d, want 18", n)
+	}
+	if n := len(repro.BenchmarksByGroup(repro.Integer)); n != 9 {
+		t.Errorf("integer group = %d, want 9", n)
+	}
+	if _, ok := repro.BenchmarkByName("no-such-benchmark"); ok {
+		t.Error("lookup of a fake benchmark succeeded")
+	}
+	if g := repro.PaperUsefulGrid(); len(g) != 15 {
+		t.Errorf("grid size = %d", len(g))
+	}
+}
+
+func TestFacadeDepthSweep(t *testing.T) {
+	sweep := repro.DepthSweep(repro.SweepConfig{
+		Machine:      repro.Alpha21264(),
+		Overhead:     repro.PaperOverhead,
+		Benchmarks:   repro.BenchmarksByGroup(repro.Integer)[:3],
+		UsefulGrid:   []float64{4, 6, 8},
+		Instructions: 15000,
+	})
+	if len(sweep.Points) != 3 {
+		t.Fatalf("points = %d", len(sweep.Points))
+	}
+	for _, p := range sweep.Points {
+		if p.GroupBIPS[repro.Integer] <= 0 {
+			t.Errorf("t=%v: no BIPS", p.Useful)
+		}
+		if len(p.PerBench) != 3 {
+			t.Errorf("t=%v: %d benchmark rows", p.Useful, len(p.PerBench))
+		}
+	}
+}
+
+func TestFacadeMachines(t *testing.T) {
+	if m := repro.Alpha21264(); m.InOrder || m.Cray1SMemory {
+		t.Error("baseline machine flags wrong")
+	}
+	if m := repro.InOrder7Stage(); !m.InOrder {
+		t.Error("in-order machine not in-order")
+	}
+	if m := repro.Cray1SMemorySystem(); !m.Cray1SMemory || !m.InOrder {
+		t.Error("Cray machine flags wrong")
+	}
+}
