@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench-smoke check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# A fast pass over the benchmark harness: one iteration each, so every
+# experiment driver executes end to end without the full -bench cost.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+check: build vet test race

@@ -8,7 +8,9 @@ package repro_test
 // the numbers next to the timings. EXPERIMENTS.md records a full run.
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/trace"
@@ -155,6 +157,28 @@ func BenchmarkWireStudy(b *testing.B) {
 		cost = (1 - wired/base) * 100
 	}
 	b.ReportMetric(cost, "wire-cost-%-at-6FO4")
+}
+
+// BenchmarkParallelSweepSpeedup times the Figure 5 sweep on the serial
+// path (Workers 1) and on every core (Workers 0) within each iteration
+// and reports their ratio. On a single-core host the ratio is ~1.0 by
+// construction; the engine's speedup shows from 2+ cores up.
+func BenchmarkParallelSweepSpeedup(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		serial := benchOpts
+		serial.Workers = 1
+		start := time.Now()
+		experiments.RunFigure5(serial)
+		serialDur := time.Since(start)
+
+		start = time.Now()
+		experiments.RunFigure5(benchOpts)
+		parallelDur := time.Since(start)
+		speedup = float64(serialDur) / float64(parallelDur)
+	}
+	b.ReportMetric(speedup, "speedup-x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
 }
 
 func BenchmarkAblation(b *testing.B) {

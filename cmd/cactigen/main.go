@@ -5,13 +5,14 @@
 package main
 
 import (
-	"fmt"
+	"flag"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 )
 
 func main() {
-	fmt.Print(experiments.RunTable3().Render())
-	fmt.Println()
-	fmt.Print(experiments.RunStructureSummary().Render())
+	asJSON := cliflags.JSONFlag()
+	flag.Parse()
+	cliflags.Emit(*asJSON, experiments.RunTable3(), experiments.RunStructureSummary())
 }

@@ -5,47 +5,36 @@ package main
 
 import (
 	"flag"
-	"fmt"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 )
 
 func main() {
-	n := flag.Int("n", experiments.Full.Instructions, "instructions per benchmark")
+	sim := cliflags.Register(experiments.Full.Instructions)
 	latchStep := flag.Float64("latchstep", 2.0, "latch sweep granularity, ps")
 	skipCircuit := flag.Bool("nocircuit", false, "skip the (slow) circuit-level experiments")
 	flag.Parse()
-	o := experiments.Options{Instructions: *n}
+	o := sim.MustOptions()
 
-	fmt.Print(experiments.RunFigure1().Render())
-	fmt.Println()
+	results := []cliflags.Result{experiments.RunFigure1()}
 	if !*skipCircuit {
-		fmt.Print(experiments.RunTable1(*latchStep).Render())
-		fmt.Println()
+		results = append(results, experiments.RunTable1(*latchStep))
 	}
-	fmt.Print(experiments.RunTable3().Render())
-	fmt.Println()
-	fmt.Print(experiments.RunFigure4a(o).Render())
-	fmt.Println()
-	fmt.Print(experiments.RunFigure4b(o).Render())
-	fmt.Println()
-	fmt.Print(experiments.RunFigure5(o).Render())
-	fmt.Println()
-	fmt.Print(experiments.RunFigure6(o).Render())
-	fmt.Println()
-	fmt.Print(experiments.RunFigure7(o).Render())
-	fmt.Println()
-	fmt.Print(experiments.RunFigure8(o).Render())
-	fmt.Println()
-	fmt.Print(experiments.RunFigure11(o).Render())
-	fmt.Println()
-	fmt.Print(experiments.RunSegmentedSelect(o).Render())
-	fmt.Println()
-	fmt.Print(experiments.RunCray1S(o).Render())
-	fmt.Println()
-	fmt.Print(experiments.RunWireStudy(o).Render())
-	fmt.Println()
-	fmt.Print(experiments.RunAblation(o).Render())
-	fmt.Println()
-	fmt.Print(experiments.RunHeadline(o).Render())
+	results = append(results,
+		experiments.RunTable3(),
+		experiments.RunFigure4a(o),
+		experiments.RunFigure4b(o),
+		experiments.RunFigure5(o),
+		experiments.RunFigure6(o),
+		experiments.RunFigure7(o),
+		experiments.RunFigure8(o),
+		experiments.RunFigure11(o),
+		experiments.RunSegmentedSelect(o),
+		experiments.RunCray1S(o),
+		experiments.RunWireStudy(o),
+		experiments.RunAblation(o),
+		experiments.RunHeadline(o),
+	)
+	cliflags.Emit(*sim.JSON, results...)
 }

@@ -7,13 +7,14 @@ package main
 
 import (
 	"flag"
-	"fmt"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 )
 
 func main() {
 	step := flag.Float64("step", 1.0, "data-edge sweep granularity in ps")
+	asJSON := cliflags.JSONFlag()
 	flag.Parse()
-	fmt.Print(experiments.RunTable1(*step).Render())
+	cliflags.Emit(*asJSON, experiments.RunTable1(*step))
 }

@@ -6,33 +6,36 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 )
 
 func main() {
-	n := flag.Int("n", experiments.Full.Instructions, "instructions per benchmark")
+	sim := cliflags.Register(experiments.Full.Instructions)
 	which := flag.String("fig", "all", "figure to run: 4a, 4b, 5, 6 or all")
 	flag.Parse()
-	o := experiments.Options{Instructions: *n}
+	o := sim.MustOptions()
 
-	run := map[string]func(){
-		"4a": func() { fmt.Print(experiments.RunFigure4a(o).Render()) },
-		"4b": func() { fmt.Print(experiments.RunFigure4b(o).Render()) },
-		"5":  func() { fmt.Print(experiments.RunFigure5(o).Render()) },
-		"6":  func() { fmt.Print(experiments.RunFigure6(o).Render()) },
+	run := map[string]func() cliflags.Result{
+		"4a": func() cliflags.Result { return experiments.RunFigure4a(o) },
+		"4b": func() cliflags.Result { return experiments.RunFigure4b(o) },
+		"5":  func() cliflags.Result { return experiments.RunFigure5(o) },
+		"6":  func() cliflags.Result { return experiments.RunFigure6(o) },
 	}
 	if *which == "all" {
+		var results []cliflags.Result
 		for _, k := range []string{"4a", "4b", "5", "6"} {
-			run[k]()
-			fmt.Println()
+			results = append(results, run[k]())
 		}
+		cliflags.Emit(*sim.JSON, results...)
 		return
 	}
 	f, ok := run[*which]
 	if !ok {
-		fmt.Println("unknown figure; use 4a, 4b, 5, 6 or all")
-		return
+		fmt.Fprintln(os.Stderr, "unknown figure; use 4a, 4b, 5, 6 or all")
+		os.Exit(2)
 	}
-	f()
+	cliflags.Emit(*sim.JSON, f())
 }

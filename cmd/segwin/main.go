@@ -6,21 +6,20 @@ package main
 
 import (
 	"flag"
-	"fmt"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 )
 
 func main() {
-	n := flag.Int("n", experiments.Full.Instructions, "instructions per benchmark")
+	sim := cliflags.Register(experiments.Full.Instructions)
 	flag.Parse()
-	o := experiments.Options{Instructions: *n}
+	o := sim.MustOptions()
 
-	fmt.Print(experiments.RunFigure8(o).Render())
-	fmt.Println()
-	fmt.Print(experiments.RunFigure11(o).Render())
-	fmt.Println()
-	fmt.Print(experiments.RunSegmentedSelect(o).Render())
-	fmt.Println()
-	fmt.Print(experiments.RunCray1S(o).Render())
+	cliflags.Emit(*sim.JSON,
+		experiments.RunFigure8(o),
+		experiments.RunFigure11(o),
+		experiments.RunSegmentedSelect(o),
+		experiments.RunCray1S(o),
+	)
 }

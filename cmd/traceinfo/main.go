@@ -8,13 +8,14 @@ package main
 
 import (
 	"flag"
-	"fmt"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 )
 
 func main() {
-	n := flag.Int("n", 100000, "instructions per benchmark")
+	sim := cliflags.Register(100000)
 	flag.Parse()
-	fmt.Print(experiments.RunWorkloadTable(*n, 1).Render())
+	o := sim.MustOptions()
+	cliflags.Emit(*sim.JSON, experiments.RunWorkloadTable(o))
 }

@@ -9,13 +9,14 @@ package main
 
 import (
 	"flag"
-	"fmt"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 )
 
 func main() {
-	n := flag.Int("n", experiments.Full.Instructions, "instructions per benchmark")
+	sim := cliflags.Register(experiments.Full.Instructions)
 	flag.Parse()
-	fmt.Print(experiments.RunWireStudy(experiments.Options{Instructions: *n}).Render())
+	o := sim.MustOptions()
+	cliflags.Emit(*sim.JSON, experiments.RunWireStudy(o))
 }

@@ -1,0 +1,112 @@
+// Package cliflags centralizes the flag surface shared by the cmd/
+// binaries. Every simulation-driven command accepts the same -n, -seed,
+// -workers, -bench and -json flags with identical semantics; commands add
+// their own extras (like pipesweep's -fig) on top.
+package cliflags
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+// Sim holds the simulation flags every study binary accepts.
+type Sim struct {
+	N       *int
+	Seed    *uint64
+	Workers *int
+	Bench   *string
+	JSON    *bool
+}
+
+// Register declares the shared simulation flags on the default flag set;
+// call it before flag.Parse. defaultN sets the -n default, which differs
+// between the full evaluation binaries and the characterization tools.
+func Register(defaultN int) *Sim {
+	return &Sim{
+		N:       flag.Int("n", defaultN, "instructions per benchmark"),
+		Seed:    flag.Uint64("seed", 1, "trace generation seed"),
+		Workers: flag.Int("workers", 0, "simulation worker pool size (0 = all CPUs, 1 = serial)"),
+		Bench:   flag.String("bench", "", "only run benchmarks whose names contain this substring"),
+		JSON:    flag.Bool("json", false, "emit machine-readable JSON instead of text"),
+	}
+}
+
+// JSONFlag declares just the -json flag, for binaries (latchsim,
+// cactigen) whose experiments take no simulation parameters.
+func JSONFlag() *bool {
+	return flag.Bool("json", false, "emit machine-readable JSON instead of text")
+}
+
+// Options validates the parsed flags and converts them to experiment
+// options. It is separate from MustOptions so the validation is testable.
+func (s *Sim) Options() (experiments.Options, error) {
+	var o experiments.Options
+	if *s.N <= 0 {
+		return o, fmt.Errorf("-n must be positive, got %d", *s.N)
+	}
+	if *s.Workers < 0 {
+		return o, fmt.Errorf("-workers must be >= 0, got %d", *s.Workers)
+	}
+	if *s.Bench != "" && len(experiments.MatchBenchmarks(*s.Bench)) == 0 {
+		return o, fmt.Errorf("-bench %q matches no SPEC 2000 benchmark", *s.Bench)
+	}
+	return experiments.Options{
+		Instructions: *s.N,
+		Seed:         *s.Seed,
+		Workers:      *s.Workers,
+		Bench:        *s.Bench,
+	}, nil
+}
+
+// MustOptions is Options with the conventional exit-on-error behavior.
+func (s *Sim) MustOptions() experiments.Options {
+	o, err := s.Options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+	return o
+}
+
+// Result is what every experiment driver returns: a text rendering in the
+// shape the paper reports.
+type Result interface{ Render() string }
+
+// JSONer is implemented by results that have a structured export.
+type JSONer interface{ JSON() ([]byte, error) }
+
+// Emit prints each result in the selected format. Text results are
+// blank-line separated, as the binaries always printed them. In JSON mode
+// each result prints as one indented object (a JSON-lines-style stream);
+// results without a structured export fall back to their text rendering
+// wrapped in {"text": ...}.
+func Emit(asJSON bool, rs ...Result) {
+	for i, r := range rs {
+		if !asJSON {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(r.Render())
+			continue
+		}
+		raw, err := jsonFor(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", raw)
+	}
+}
+
+func jsonFor(r Result) ([]byte, error) {
+	if j, ok := r.(JSONer); ok {
+		return j.JSON()
+	}
+	return json.MarshalIndent(struct {
+		Text string `json:"text"`
+	}{r.Render()}, "", "  ")
+}

@@ -1,0 +1,59 @@
+package cliflags
+
+import (
+	"strings"
+	"testing"
+)
+
+func sim(n, workers int, seed uint64, bench string) *Sim {
+	j := false
+	return &Sim{N: &n, Seed: &seed, Workers: &workers, Bench: &bench, JSON: &j}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		s       *Sim
+		wantErr string
+	}{
+		{"defaults", sim(40000, 0, 1, ""), ""},
+		{"serial", sim(40000, 1, 1, ""), ""},
+		{"bench filter", sim(40000, 0, 1, "gcc"), ""},
+		{"bench filter case-insensitive", sim(40000, 0, 1, "GCC"), ""},
+		{"zero n", sim(0, 0, 1, ""), "-n must be positive"},
+		{"negative workers", sim(40000, -2, 1, ""), "-workers must be >= 0"},
+		{"unknown bench", sim(40000, 0, 1, "no-such-spec"), "matches no SPEC 2000 benchmark"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o, err := c.s.Options()
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if o.Instructions != *c.s.N || o.Workers != *c.s.Workers ||
+					o.Seed != *c.s.Seed || o.Bench != *c.s.Bench {
+					t.Errorf("options %+v do not mirror flags", o)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %v, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+type textOnly struct{}
+
+func (textOnly) Render() string { return "plain" }
+
+func TestJSONFallbackWrapsText(t *testing.T) {
+	raw, err := jsonFor(textOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"text": "plain"`) {
+		t.Errorf("fallback JSON = %s", raw)
+	}
+}

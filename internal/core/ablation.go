@@ -21,13 +21,11 @@ type AblationPoint struct {
 // turning it off (or resizing it) on the baseline machine at the optimal
 // 6 FO4 clock. It covers the modeling choices DESIGN.md calls out: the
 // split issue queues, the register-file-unconstrained in-flight window,
-// the branch predictor, the cache hierarchy, and the machine widths.
+// the branch predictor, the cache hierarchy, and the machine widths. All
+// variants run as one batch on the worker pool.
 func AblationStudy(cfg SweepConfig) []AblationPoint {
 	cfg.fill()
-	traces := make([]*trace.Trace, len(cfg.Benchmarks))
-	for i, b := range cfg.Benchmarks {
-		traces[i] = b.Generate(cfg.Instructions, cfg.Seed)
-	}
+	traces := cfg.traces()
 	const useful = 6.0
 
 	type variant struct {
@@ -58,10 +56,16 @@ func AblationStudy(cfg SweepConfig) []AblationPoint {
 		}},
 	}
 
+	specs := make([]pointSpec, len(variants))
+	for i, v := range variants {
+		specs[i] = cfg.pointSpecFor(useful, v.mod)
+	}
+	points := runPoints(cfg, specs, traces)
+
 	var out []AblationPoint
 	var baseline float64
-	for _, v := range variants {
-		pt := runPoint(cfg, useful, traces, v.mod)
+	for i, v := range variants {
+		pt := points[i]
 		ap := AblationPoint{Name: v.name, BIPS: pt.GroupBIPS, AllBIPS: pt.AllBIPS}
 		if baseline == 0 {
 			baseline = pt.AllBIPS
@@ -78,12 +82,12 @@ func AblationStudy(cfg SweepConfig) []AblationPoint {
 func PrefetchAblation(cfg SweepConfig) (with, without float64) {
 	cfg.fill()
 	const useful = 6.0
-	var withTr, withoutTr []*trace.Trace
-	for _, b := range cfg.Benchmarks {
-		withTr = append(withTr, b.Generate(cfg.Instructions, cfg.Seed))
-		t2 := b.Generate(cfg.Instructions, cfg.Seed)
-		t2.PrefetchCoverage = 1e-9 // effectively off, deterministically
-		withoutTr = append(withoutTr, t2)
+	withTr := cfg.traces()
+	// Cached traces are shared read-only; derive the no-prefetch variants
+	// as clones rather than mutating the shared instances.
+	withoutTr := make([]*trace.Trace, len(withTr))
+	for i, t := range withTr {
+		withoutTr[i] = t.WithPrefetchCoverage(1e-9) // effectively off, deterministically
 	}
 	return runPoint(cfg, useful, withTr, nil).AllBIPS,
 		runPoint(cfg, useful, withoutTr, nil).AllBIPS

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/config"
@@ -18,6 +19,11 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
+
+// NoWarmup requests an explicitly empty warmup window: every instruction
+// counts toward the reported IPC. (Warmup 0 is the zero value and keeps
+// its historical meaning of "default 20%".)
+const NoWarmup = -1
 
 // SweepConfig configures a depth sweep.
 type SweepConfig struct {
@@ -32,9 +38,22 @@ type SweepConfig struct {
 	// Benchmarks to run; nil means the full SPEC 2000 suite of Table 2.
 	Benchmarks []trace.Profile
 
-	Instructions int    // dynamic instructions per benchmark (default 60k)
-	Warmup       int    // leading instructions excluded from IPC (default 20%)
-	Seed         uint64 // trace generation seed
+	Instructions int // dynamic instructions per benchmark (default 60k)
+
+	// Warmup is the number of leading instructions excluded from IPC:
+	// 0 means the default 20% of Instructions, NoWarmup (-1) means none.
+	Warmup int
+
+	Seed uint64 // trace generation seed
+
+	// Workers sizes the simulation worker pool: 0 means GOMAXPROCS,
+	// 1 reproduces the historical serial path bit-for-bit.
+	Workers int
+
+	// Context, when non-nil, cancels a running study early. A cancelled
+	// study returns promptly with incomplete results; callers that cancel
+	// should discard the result and check Context.Err().
+	Context context.Context
 }
 
 func (c *SweepConfig) fill() {
@@ -47,8 +66,11 @@ func (c *SweepConfig) fill() {
 	if c.Instructions == 0 {
 		c.Instructions = 60000
 	}
-	if c.Warmup == 0 {
+	switch {
+	case c.Warmup == 0:
 		c.Warmup = c.Instructions / 5
+	case c.Warmup < 0: // NoWarmup
+		c.Warmup = 0
 	}
 	if c.Tech == (fo4.Tech{}) {
 		c.Tech = fo4.Tech100nm
@@ -98,55 +120,16 @@ type SweepResult struct {
 
 // DepthSweep runs the Section 3/4 experiment: simulate every benchmark at
 // every clock point and aggregate. Traces are generated once and replayed
-// at every point, as the paper replays each benchmark binary.
+// at every point, as the paper replays each benchmark binary; the whole
+// (clock point × benchmark) grid runs on the worker pool.
 func DepthSweep(cfg SweepConfig) SweepResult {
 	cfg.fill()
-	traces := make([]*trace.Trace, len(cfg.Benchmarks))
-	for i, b := range cfg.Benchmarks {
-		traces[i] = b.Generate(cfg.Instructions, cfg.Seed)
+	traces := cfg.traces()
+	specs := make([]pointSpec, len(cfg.UsefulGrid))
+	for i, useful := range cfg.UsefulGrid {
+		specs[i] = cfg.pointSpecFor(useful, nil)
 	}
-	res := SweepResult{Config: cfg}
-	for _, useful := range cfg.UsefulGrid {
-		res.Points = append(res.Points, runPoint(cfg, useful, traces, nil))
-	}
-	return res
-}
-
-// runPoint evaluates one clock point; mod, when non-nil, may adjust the
-// pipeline parameters (used by the loop and window experiments).
-func runPoint(cfg SweepConfig, useful float64, traces []*trace.Trace, mod func(*pipeline.Params)) SweepPoint {
-	clk := fo4.Clock{Useful: useful, Overhead: cfg.Overhead}
-	pt := SweepPoint{
-		Useful:    useful,
-		Clock:     clk,
-		FreqHz:    clk.FrequencyHz(cfg.Tech),
-		GroupBIPS: map[trace.Group]float64{},
-	}
-	timing := cfg.Machine.Resolve(clk)
-	groups := map[trace.Group][]float64{}
-	var all []float64
-	for _, tr := range traces {
-		p := pipeline.Params{
-			Machine: cfg.Machine,
-			Timing:  timing,
-			Warmup:  cfg.Warmup,
-		}
-		if mod != nil {
-			mod(&p)
-		}
-		s := pipeline.Run(p, tr)
-		b := metrics.BIPS(s.IPC, pt.FreqHz)
-		pt.PerBench = append(pt.PerBench, BenchPoint{
-			Name: tr.Name, Group: tr.Group, IPC: s.IPC, BIPS: b, Stats: s,
-		})
-		groups[tr.Group] = append(groups[tr.Group], b)
-		all = append(all, b)
-	}
-	for g, xs := range groups {
-		pt.GroupBIPS[g] = metrics.HarmonicMean(xs)
-	}
-	pt.AllBIPS = metrics.HarmonicMean(all)
-	return pt
+	return SweepResult{Config: cfg, Points: runPoints(cfg, specs, traces)}
 }
 
 // GroupSeries extracts the BIPS series for one group across the sweep.

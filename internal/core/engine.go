@@ -1,0 +1,207 @@
+package core
+
+// This file is the sweep engine: every study entry point in the package
+// funnels its simulations through it. A study describes its grid —
+// (clock point × benchmark) for the BIPS sweeps, (variant × benchmark)
+// for the fixed-clock IPC studies — and the engine executes the whole
+// grid on one deterministic worker pool (internal/exec), generating each
+// benchmark trace at most once per process and sharing it read-only
+// across workers. Aggregation always happens serially in benchmark
+// order, so results are bit-for-bit identical at any worker count.
+
+import (
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/exec"
+	"repro/internal/fo4"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// pool builds the executor configuration for this sweep.
+func (c SweepConfig) pool() exec.Pool {
+	return exec.Pool{Workers: c.Workers, Ctx: c.Context}
+}
+
+// cancelled reports whether the sweep's context has been cancelled.
+func (c SweepConfig) cancelled() bool {
+	return c.Context != nil && c.Context.Err() != nil
+}
+
+// simTask is one fully specified pipeline simulation.
+type simTask struct {
+	params pipeline.Params
+	tr     *trace.Trace
+}
+
+// runSims executes the tasks on the sweep's worker pool. Stats are
+// slotted by task index, so the output never depends on completion
+// order. On cancellation the unfinished slots hold zero Stats; callers
+// check cancelled() before aggregating (a zero IPC would poison the
+// harmonic means).
+func runSims(cfg SweepConfig, tasks []simTask) []pipeline.Stats {
+	stats, _ := exec.Map(cfg.pool(), tasks, func(_ int, t simTask) pipeline.Stats {
+		return pipeline.Run(t.params, t.tr)
+	})
+	return stats
+}
+
+// traceKey identifies one generated trace. Profile is a comparable value
+// type, so two custom profiles that share a name but differ in any
+// parameter still get distinct cache entries.
+type traceKey struct {
+	profile      trace.Profile
+	instructions int
+	seed         uint64
+}
+
+// traceCache holds every trace generated so far, process-wide. The
+// simulators never mutate a trace (see the contract in internal/trace),
+// so one generation serves every study, worker and clock point that asks
+// for the same (profile, instructions, seed).
+var traceCache sync.Map // traceKey → *trace.Trace
+
+// traces returns the benchmark traces for this sweep, generating missing
+// ones in parallel on the sweep's worker pool and caching them for any
+// later study in the process.
+func (c SweepConfig) traces() []*trace.Trace {
+	out, _ := exec.Map(c.pool(), c.Benchmarks, func(_ int, p trace.Profile) *trace.Trace {
+		key := traceKey{profile: p, instructions: c.Instructions, seed: c.Seed}
+		if v, ok := traceCache.Load(key); ok {
+			return v.(*trace.Trace)
+		}
+		// Two workers may race to generate the same trace; Generate is
+		// deterministic, so either result is identical and LoadOrStore
+		// just picks a canonical pointer.
+		v, _ := traceCache.LoadOrStore(key, p.Generate(c.Instructions, c.Seed))
+		return v.(*trace.Trace)
+	})
+	return out
+}
+
+// pointSpec describes one aggregate point of a BIPS study: a clock with
+// its resolved timing, plus an optional parameter modification applied to
+// every simulation of the point.
+type pointSpec struct {
+	useful float64
+	clock  fo4.Clock
+	freqHz float64
+	timing config.Timing
+	mod    func(*pipeline.Params)
+}
+
+// pointSpecFor resolves one clock point of this sweep.
+func (c SweepConfig) pointSpecFor(useful float64, mod func(*pipeline.Params)) pointSpec {
+	clk := fo4.Clock{Useful: useful, Overhead: c.Overhead}
+	return pointSpec{
+		useful: useful,
+		clock:  clk,
+		freqHz: clk.FrequencyHz(c.Tech),
+		timing: c.Machine.Resolve(clk),
+		mod:    mod,
+	}
+}
+
+// runPoints simulates every (spec, benchmark) pair on the worker pool and
+// folds each spec's stats into a SweepPoint. One flattened grid keeps the
+// pool busy across point boundaries; per-point aggregation stays serial
+// and in benchmark order, matching the old serial loop exactly.
+func runPoints(cfg SweepConfig, specs []pointSpec, traces []*trace.Trace) []SweepPoint {
+	tasks := make([]simTask, 0, len(specs)*len(traces))
+	for _, sp := range specs {
+		p := pipeline.Params{Machine: cfg.Machine, Timing: sp.timing, Warmup: cfg.Warmup}
+		if sp.mod != nil {
+			sp.mod(&p)
+		}
+		for _, tr := range traces {
+			tasks = append(tasks, simTask{params: p, tr: tr})
+		}
+	}
+	stats := runSims(cfg, tasks)
+
+	points := make([]SweepPoint, len(specs))
+	for si, sp := range specs {
+		pt := SweepPoint{
+			Useful:    sp.useful,
+			Clock:     sp.clock,
+			FreqHz:    sp.freqHz,
+			GroupBIPS: map[trace.Group]float64{},
+		}
+		if cfg.cancelled() {
+			points[si] = pt
+			continue
+		}
+		groups := map[trace.Group][]float64{}
+		var all []float64
+		for ti, tr := range traces {
+			s := stats[si*len(traces)+ti]
+			b := metrics.BIPS(s.IPC, pt.FreqHz)
+			pt.PerBench = append(pt.PerBench, BenchPoint{
+				Name: tr.Name, Group: tr.Group, IPC: s.IPC, BIPS: b, Stats: s,
+			})
+			groups[tr.Group] = append(groups[tr.Group], b)
+			all = append(all, b)
+		}
+		for g, xs := range groups {
+			pt.GroupBIPS[g] = metrics.HarmonicMean(xs)
+		}
+		pt.AllBIPS = metrics.HarmonicMean(all)
+		points[si] = pt
+	}
+	return points
+}
+
+// runPoint evaluates one clock point; mod, when non-nil, may adjust the
+// pipeline parameters (used by the loop and window experiments).
+func runPoint(cfg SweepConfig, useful float64, traces []*trace.Trace, mod func(*pipeline.Params)) SweepPoint {
+	return runPoints(cfg, []pointSpec{cfg.pointSpecFor(useful, mod)}, traces)[0]
+}
+
+// ipcPoint is one variant's harmonic-mean IPC across the suite — the
+// aggregate the fixed-clock studies (Figures 8, 11, §4.5, §5.2) report.
+type ipcPoint struct {
+	groups map[trace.Group]float64
+	all    float64
+}
+
+// runIPCVariants simulates every (variant, benchmark) pair on the worker
+// pool from a shared base parameter set; mods[i] (nil allowed) adjusts
+// the parameters of variant i. Aggregation is serial and in benchmark
+// order, so the result matches a serial per-variant loop bit-for-bit.
+func runIPCVariants(cfg SweepConfig, traces []*trace.Trace, base pipeline.Params, mods []func(*pipeline.Params)) []ipcPoint {
+	tasks := make([]simTask, 0, len(mods)*len(traces))
+	for _, mod := range mods {
+		p := base
+		if mod != nil {
+			mod(&p)
+		}
+		for _, tr := range traces {
+			tasks = append(tasks, simTask{params: p, tr: tr})
+		}
+	}
+	stats := runSims(cfg, tasks)
+
+	out := make([]ipcPoint, len(mods))
+	for mi := range mods {
+		pt := ipcPoint{groups: map[trace.Group]float64{}}
+		if cfg.cancelled() {
+			out[mi] = pt
+			continue
+		}
+		groups := map[trace.Group][]float64{}
+		var all []float64
+		for ti, tr := range traces {
+			s := stats[mi*len(traces)+ti]
+			groups[tr.Group] = append(groups[tr.Group], s.IPC)
+			all = append(all, s.IPC)
+		}
+		for g, xs := range groups {
+			pt.groups[g] = metrics.HarmonicMean(xs)
+		}
+		pt.all = metrics.HarmonicMean(all)
+		out[mi] = pt
+	}
+	return out
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/config"
-	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
@@ -52,42 +51,19 @@ type LoopSweep struct {
 // machine at the Alpha 21264's own latencies and stretch each critical
 // loop independently by 0..maxExtra cycles, reporting IPC relative to the
 // unstretched machine. Integer benchmarks are the paper's focus; per-group
-// series are returned so the FP trends can be examined too.
+// series are returned so the FP trends can be examined too. The baseline
+// and every (loop, extra) variant run as one batch on the worker pool.
 func CriticalLoopSensitivity(cfg SweepConfig, maxExtra int) []LoopSweep {
 	cfg.fill()
-	traces := make([]*trace.Trace, len(cfg.Benchmarks))
-	for i, b := range cfg.Benchmarks {
-		traces[i] = b.Generate(cfg.Instructions, cfg.Seed)
-	}
-	timing := config.Alpha21264Timing()
+	traces := cfg.traces()
+	base := pipeline.Params{Machine: cfg.Machine, Timing: config.Alpha21264Timing(), Warmup: cfg.Warmup}
 
-	run := func(mod func(*pipeline.Params)) (map[trace.Group]float64, float64) {
-		groups := map[trace.Group][]float64{}
-		var all []float64
-		for _, tr := range traces {
-			p := pipeline.Params{Machine: cfg.Machine, Timing: timing, Warmup: cfg.Warmup}
-			if mod != nil {
-				mod(&p)
-			}
-			s := pipeline.Run(p, tr)
-			groups[tr.Group] = append(groups[tr.Group], s.IPC)
-			all = append(all, s.IPC)
-		}
-		out := map[trace.Group]float64{}
-		for g, xs := range groups {
-			out[g] = metrics.HarmonicMean(xs)
-		}
-		return out, metrics.HarmonicMean(all)
-	}
-
-	baseGroups, baseAll := run(nil)
-
-	var sweeps []LoopSweep
-	for _, loop := range []Loop{IssueWakeup, LoadUse, BranchMispredict} {
-		sw := LoopSweep{Loop: loop}
+	loops := []Loop{IssueWakeup, LoadUse, BranchMispredict}
+	mods := []func(*pipeline.Params){nil} // variant 0 is the unstretched baseline
+	for _, loop := range loops {
 		for extra := 0; extra <= maxExtra; extra++ {
-			e := extra
-			g, all := run(func(p *pipeline.Params) {
+			loop, e := loop, extra
+			mods = append(mods, func(p *pipeline.Params) {
 				switch loop {
 				case IssueWakeup:
 					p.ExtraWakeup = e
@@ -97,11 +73,23 @@ func CriticalLoopSensitivity(cfg SweepConfig, maxExtra int) []LoopSweep {
 					p.ExtraMispredict = e
 				}
 			})
+		}
+	}
+	pts := runIPCVariants(cfg, traces, base, mods)
+	baseline := pts[0]
+
+	var sweeps []LoopSweep
+	next := 1
+	for _, loop := range loops {
+		sw := LoopSweep{Loop: loop}
+		for extra := 0; extra <= maxExtra; extra++ {
+			v := pts[next]
+			next++
 			pt := LoopPoint{Extra: extra, RelativeIPC: map[trace.Group]float64{}}
-			for grp, v := range g {
-				pt.RelativeIPC[grp] = v / baseGroups[grp]
+			for grp, x := range v.groups {
+				pt.RelativeIPC[grp] = x / baseline.groups[grp]
 			}
-			pt.RelativeAll = all / baseAll
+			pt.RelativeAll = v.all / baseline.all
 			sw.Points = append(sw.Points, pt)
 		}
 		sweeps = append(sweeps, sw)

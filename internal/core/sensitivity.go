@@ -3,7 +3,6 @@ package core
 import (
 	"repro/internal/config"
 	"repro/internal/fo4"
-	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
@@ -61,45 +60,36 @@ type SensitivityCurve struct {
 
 // LatencySensitivity builds the §4.5 curves: at the machine's Alpha 21264
 // latencies, vary one structure's latency from 1 to maxCycles while
-// holding everything else fixed, and record IPC.
+// holding everything else fixed, and record IPC. The full
+// (structure × latency × benchmark) grid runs as one batch on the worker
+// pool.
 func LatencySensitivity(cfg SweepConfig, maxCycles int) []SensitivityCurve {
 	cfg.fill()
-	traces := make([]*trace.Trace, len(cfg.Benchmarks))
-	for i, b := range cfg.Benchmarks {
-		traces[i] = b.Generate(cfg.Instructions, cfg.Seed)
-	}
+	traces := cfg.traces()
 	baseTiming := cfg.Machine.Resolve(fo4.Clock{Useful: 6, Overhead: cfg.Overhead})
-
-	run := func(mod func(*pipeline.Params)) (map[trace.Group]float64, float64) {
-		groups := map[trace.Group][]float64{}
-		var all []float64
-		for _, tr := range traces {
-			p := pipeline.Params{Machine: cfg.Machine, Timing: baseTiming, Warmup: cfg.Warmup}
-			mod(&p)
-			s := pipeline.Run(p, tr)
-			groups[tr.Group] = append(groups[tr.Group], s.IPC)
-			all = append(all, s.IPC)
-		}
-		out := map[trace.Group]float64{}
-		for g, xs := range groups {
-			out[g] = metrics.HarmonicMean(xs)
-		}
-		return out, metrics.HarmonicMean(all)
-	}
+	base := pipeline.Params{Machine: cfg.Machine, Timing: baseTiming, Warmup: cfg.Warmup}
 
 	structs := []Structure{StructDL1, StructL2, StructWindow, StructBPred, StructRegRead}
-	var curves []SensitivityCurve
+	mods := make([]func(*pipeline.Params), 0, len(structs)*maxCycles)
 	for _, st := range structs {
+		for lat := 1; lat <= maxCycles; lat++ {
+			st, lat := st, lat
+			mods = append(mods, func(p *pipeline.Params) { setLatency(&p.Timing, st, lat) })
+		}
+	}
+	pts := runIPCVariants(cfg, traces, base, mods)
+
+	var curves []SensitivityCurve
+	for si, st := range structs {
 		cur := SensitivityCurve{Structure: st, Baseline: baselineOf(baseTiming, st)}
 		var baseAll float64
 		for lat := 1; lat <= maxCycles; lat++ {
-			l := lat
-			g, all := run(func(p *pipeline.Params) { setLatency(&p.Timing, st, l) })
-			if l == cur.Baseline {
-				baseAll = all
+			pt := pts[si*maxCycles+lat-1]
+			if lat == cur.Baseline {
+				baseAll = pt.all
 			}
 			cur.Points = append(cur.Points, SensitivityPoint{
-				LatencyCycles: l, IPC: g, AllIPC: all,
+				LatencyCycles: lat, IPC: pt.groups, AllIPC: pt.all,
 			})
 		}
 		if baseAll == 0 {

@@ -64,16 +64,16 @@ type StructOptPoint struct {
 // and compare against the fixed Alpha 21264 capacities. The search is
 // coordinate descent from the baseline — vary one structure at a time,
 // keep the best, then verify the combination — which is how the paper
-// describes its sensitivity-curve approach.
+// describes its sensitivity-curve approach. The descent itself is
+// inherently sequential (each step depends on the last winner), but every
+// candidate evaluation fans its benchmark simulations out on the worker
+// pool.
 func StructureOptimization(cfg SweepConfig, space []StructChoice) []StructOptPoint {
 	cfg.fill()
 	if space == nil {
 		space = DefaultStructSpace()
 	}
-	traces := make([]*trace.Trace, len(cfg.Benchmarks))
-	for i, b := range cfg.Benchmarks {
-		traces[i] = b.Generate(cfg.Instructions, cfg.Seed)
-	}
+	traces := cfg.traces()
 
 	eval := func(m config.Machine, useful float64) float64 {
 		c := cfg

@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/config"
-	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
@@ -20,48 +19,34 @@ type WindowPoint struct {
 // maxStages segments. All entries remain visible to selection (the
 // selection experiment is separate — see SegmentedSelect). naive selects
 // Stark et al.'s pessimistic pipelining instead, where dependent
-// instructions can never issue in consecutive cycles.
+// instructions can never issue in consecutive cycles. Every stage count
+// runs as one batch on the worker pool; the single-stage variant is both
+// the first point and the relative-IPC baseline.
 func SegmentedWindowSweep(cfg SweepConfig, maxStages int, naive bool) []WindowPoint {
 	cfg.fill()
 	cfg.Machine.UnifiedWindow = 32
-	traces := make([]*trace.Trace, len(cfg.Benchmarks))
-	for i, b := range cfg.Benchmarks {
-		traces[i] = b.Generate(cfg.Instructions, cfg.Seed)
-	}
-	timing := config.Alpha21264Timing()
+	traces := cfg.traces()
+	base := pipeline.Params{Machine: cfg.Machine, Timing: config.Alpha21264Timing(), Warmup: cfg.Warmup}
 
-	run := func(stages int) (map[trace.Group]float64, float64) {
-		groups := map[trace.Group][]float64{}
-		var all []float64
-		for _, tr := range traces {
-			p := pipeline.Params{
-				Machine:         cfg.Machine,
-				Timing:          timing,
-				Warmup:          cfg.Warmup,
-				WindowStages:    stages,
-				NaivePipelining: naive && stages > 1,
-			}
-			s := pipeline.Run(p, tr)
-			groups[tr.Group] = append(groups[tr.Group], s.IPC)
-			all = append(all, s.IPC)
+	mods := make([]func(*pipeline.Params), maxStages)
+	for s := 1; s <= maxStages; s++ {
+		s := s
+		mods[s-1] = func(p *pipeline.Params) {
+			p.WindowStages = s
+			p.NaivePipelining = naive && s > 1
 		}
-		out := map[trace.Group]float64{}
-		for g, xs := range groups {
-			out[g] = metrics.HarmonicMean(xs)
-		}
-		return out, metrics.HarmonicMean(all)
 	}
+	pts := runIPCVariants(cfg, traces, base, mods)
+	baseline := pts[0] // one wakeup stage: the conventional window
 
-	baseGroups, baseAll := run(1)
-	var points []WindowPoint
-	for stages := 1; stages <= maxStages; stages++ {
-		g, all := run(stages)
-		pt := WindowPoint{Stages: stages, RelativeIPC: map[trace.Group]float64{}}
-		for grp, v := range g {
-			pt.RelativeIPC[grp] = v / baseGroups[grp]
+	points := make([]WindowPoint, maxStages)
+	for i, v := range pts {
+		pt := WindowPoint{Stages: i + 1, RelativeIPC: map[trace.Group]float64{}}
+		for grp, x := range v.groups {
+			pt.RelativeIPC[grp] = x / baseline.groups[grp]
 		}
-		pt.RelativeAll = all / baseAll
-		points = append(points, pt)
+		pt.RelativeAll = v.all / baseline.all
+		points[i] = pt
 	}
 	return points
 }
@@ -82,38 +67,22 @@ type SelectResult struct {
 func SegmentedSelect(cfg SweepConfig) SelectResult {
 	cfg.fill()
 	cfg.Machine.UnifiedWindow = 32
-	traces := make([]*trace.Trace, len(cfg.Benchmarks))
-	for i, b := range cfg.Benchmarks {
-		traces[i] = b.Generate(cfg.Instructions, cfg.Seed)
-	}
-	timing := config.Alpha21264Timing()
+	traces := cfg.traces()
+	base := pipeline.Params{Machine: cfg.Machine, Timing: config.Alpha21264Timing(), Warmup: cfg.Warmup}
 
-	run := func(seg bool) (map[trace.Group]float64, float64) {
-		groups := map[trace.Group][]float64{}
-		var all []float64
-		for _, tr := range traces {
-			p := pipeline.Params{Machine: cfg.Machine, Timing: timing, Warmup: cfg.Warmup}
-			if seg {
-				p.WindowStages = 4
-				p.PreSelect = []int{5, 2, 1}
-			}
-			s := pipeline.Run(p, tr)
-			groups[tr.Group] = append(groups[tr.Group], s.IPC)
-			all = append(all, s.IPC)
-		}
-		out := map[trace.Group]float64{}
-		for g, xs := range groups {
-			out[g] = metrics.HarmonicMean(xs)
-		}
-		return out, metrics.HarmonicMean(all)
-	}
+	pts := runIPCVariants(cfg, traces, base, []func(*pipeline.Params){
+		nil, // the conventional single-cycle window
+		func(p *pipeline.Params) {
+			p.WindowStages = 4
+			p.PreSelect = []int{5, 2, 1}
+		},
+	})
+	conv, seg := pts[0], pts[1]
 
-	baseG, baseAll := run(false)
-	segG, segAll := run(true)
 	res := SelectResult{RelativeIPC: map[trace.Group]float64{}}
-	for g, v := range segG {
-		res.RelativeIPC[g] = v / baseG[g]
+	for g, v := range seg.groups {
+		res.RelativeIPC[g] = v / conv.groups[g]
 	}
-	res.RelativeAll = segAll / baseAll
+	res.RelativeAll = seg.all / conv.all
 	return res
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/pipeline"
-	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -11,20 +10,27 @@ import (
 // critical loops. The paper conjectures that wires do not move the
 // optimum for a fixed microarchitecture; the study quantifies how much
 // performance they cost and where the optimum lands once every critical
-// loop pays its floorplan distance.
+// loop pays its floorplan distance. Both sweeps run as one interleaved
+// batch on the worker pool.
 func WireStudy(cfg SweepConfig, wm wire.Model) (without, with SweepResult) {
 	cfg.fill()
-	traces := make([]*trace.Trace, len(cfg.Benchmarks))
-	for i, b := range cfg.Benchmarks {
-		traces[i] = b.Generate(cfg.Instructions, cfg.Seed)
+	traces := cfg.traces()
+
+	specs := make([]pointSpec, 0, 2*len(cfg.UsefulGrid))
+	for _, useful := range cfg.UsefulGrid {
+		specs = append(specs,
+			cfg.pointSpecFor(useful, nil),
+			cfg.pointSpecFor(useful, func(p *pipeline.Params) {
+				p.Timing = wm.ApplyToTiming(cfg.Machine, p.Timing)
+			}))
 	}
+	points := runPoints(cfg, specs, traces)
+
 	without = SweepResult{Config: cfg}
 	with = SweepResult{Config: cfg}
-	for _, useful := range cfg.UsefulGrid {
-		without.Points = append(without.Points, runPoint(cfg, useful, traces, nil))
-		with.Points = append(with.Points, runPoint(cfg, useful, traces, func(p *pipeline.Params) {
-			p.Timing = wm.ApplyToTiming(cfg.Machine, p.Timing)
-		}))
+	for i := 0; i < len(points); i += 2 {
+		without.Points = append(without.Points, points[i])
+		with.Points = append(with.Points, points[i+1])
 	}
 	return without, with
 }

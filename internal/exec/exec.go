@@ -1,0 +1,98 @@
+// Package exec provides the deterministic worker-pool executor every
+// study driver in internal/core runs on. A study is a grid of independent
+// simulations — the paper replays each (benchmark, clock-point) pair as a
+// separate binary run — so the grid parallelizes freely as long as the
+// aggregate output stays deterministic. The executor guarantees that by
+// construction: results are slotted by item index, never by completion
+// order, so the output of Map is byte-for-byte identical at any worker
+// count, and Workers == 1 degenerates to a plain serial loop on the
+// caller's goroutine.
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool sizes one executor invocation.
+type Pool struct {
+	// Workers is the number of concurrent workers: 0 means GOMAXPROCS,
+	// 1 runs every job serially on the caller's goroutine (reproducing an
+	// ordinary loop bit-for-bit), and higher values cap the pool.
+	Workers int
+
+	// Ctx cancels a run early; nil means the run cannot be cancelled.
+	Ctx context.Context
+}
+
+// size resolves the worker count for n items.
+func (p Pool) size(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ctx resolves the pool's context.
+func (p Pool) ctx() context.Context {
+	if p.Ctx == nil {
+		return context.Background()
+	}
+	return p.Ctx
+}
+
+// Map applies fn to every item and returns the results slotted by item
+// index. Jobs are handed out in index order; completion order never
+// affects the output, so Map is deterministic at any worker count.
+//
+// When the pool's context is cancelled, Map stops handing out work and
+// returns the context's error; slots whose jobs never ran hold zero
+// values, so a caller that sees a non-nil error must discard the results.
+func Map[T, R any](p Pool, items []T, fn func(int, T) R) ([]R, error) {
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+	ctx := p.ctx()
+	workers := p.size(len(items))
+
+	if workers == 1 {
+		for i, it := range items {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
+			results[i] = fn(i, it)
+		}
+		return results, ctx.Err()
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				results[i] = fn(i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results, ctx.Err()
+}

@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func items(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestMapSlotsResultsByIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(Pool{Workers: workers}, items(100), func(i, v int) int {
+			return i * v
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapSerialMatchesParallel(t *testing.T) {
+	fn := func(i, v int) uint64 {
+		// A little deterministic arithmetic per job.
+		x := uint64(v)*2654435761 + 1
+		for k := 0; k < 100; k++ {
+			x ^= x >> 13
+			x *= 0x9E3779B97F4A7C15
+		}
+		return x
+	}
+	serial, err := Map(Pool{Workers: 1}, items(257), fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(Pool{Workers: 8}, items(257), fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("slot %d: serial %d != parallel %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(Pool{}, nil, func(i, v int) int { return v })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	for _, workers := range []int{1, 4} {
+		_, err := Map(Pool{Workers: workers, Ctx: ctx}, items(50), func(i, v int) int {
+			ran.Add(1)
+			return v
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d jobs ran on a cancelled context", n)
+	}
+}
+
+func TestMapCancellationStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	const n = 10000
+	_, err := Map(Pool{Workers: 4, Ctx: ctx}, items(n), func(i, v int) int {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return v
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= n {
+		t.Fatalf("all %d jobs ran despite cancellation", got)
+	}
+}
+
+func TestPoolSize(t *testing.T) {
+	if got := (Pool{Workers: 8}).size(3); got != 3 {
+		t.Errorf("workers capped at items: got %d, want 3", got)
+	}
+	if got := (Pool{Workers: 2}).size(100); got != 2 {
+		t.Errorf("explicit workers: got %d, want 2", got)
+	}
+	if got := (Pool{}).size(100); got < 1 {
+		t.Errorf("default workers: got %d, want >= 1", got)
+	}
+}

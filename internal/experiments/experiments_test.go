@@ -217,3 +217,46 @@ func TestStructureSummaryDriver(t *testing.T) {
 		t.Error("render missing energy column")
 	}
 }
+
+// TestRenderWorkerInvariance pins the engine's determinism guarantee at
+// the driver level: the rendered report — the exact bytes a user sees —
+// must be identical on the serial path and on a many-worker pool.
+func TestRenderWorkerInvariance(t *testing.T) {
+	o := Options{Instructions: 8000, Bench: "m"} // several benchmarks across all groups
+	o.Workers = 1
+	serial := RunFigure5(o).Render()
+	o.Workers = 8
+	parallel := RunFigure5(o).Render()
+	if serial != parallel {
+		t.Errorf("Workers=8 render differs from Workers=1:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+func TestBenchFilter(t *testing.T) {
+	if got := len(MatchBenchmarks("")); got != 18 {
+		t.Errorf("empty filter matched %d profiles, want the whole suite (18)", got)
+	}
+	if got := len(MatchBenchmarks("176.gcc")); got != 1 {
+		t.Errorf("exact name matched %d profiles, want 1", got)
+	}
+	if got := len(MatchBenchmarks("GCC")); got != 1 {
+		t.Errorf("filter should be case-insensitive, matched %d", got)
+	}
+	if got := len(MatchBenchmarks("zzz-nothing")); got != 0 {
+		t.Errorf("bogus filter matched %d profiles", got)
+	}
+
+	o := Options{Instructions: 5000, Bench: "176.gcc"}
+	res := RunFigure5(o)
+	for _, p := range res.Sweep.Points {
+		if len(p.PerBench) != 1 || p.PerBench[0].Name != "176.gcc" {
+			t.Fatalf("Bench filter leaked: point ran %d benchmarks", len(p.PerBench))
+		}
+	}
+	// Group-restricted figures intersect the filter with their group.
+	g := trace.Integer
+	if got := len(Options{Bench: "171.swim"}.benchmarks(&g)); got != 0 {
+		t.Errorf("vector benchmark matched the integer group, got %d", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/branch"
+	"repro/internal/exec"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -33,17 +34,23 @@ type WorkloadTable struct {
 	Rows []WorkloadRow
 }
 
-// RunWorkloadTable measures every benchmark profile with n instructions.
-func RunWorkloadTable(n int, seed uint64) WorkloadTable {
-	if n <= 0 {
-		n = 50000
+// RunWorkloadTable measures every selected benchmark profile. Each
+// benchmark characterizes independently (predictor and hierarchy are
+// per-call), so the rows run on the worker pool; row order always follows
+// the suite's declaration order.
+func RunWorkloadTable(o Options) WorkloadTable {
+	if o.Instructions == 0 {
+		// Characterization needs longer streams than the simulation
+		// default to reach steady-state miss and mispredict rates.
+		o.Instructions = 50000
 	}
-	var out WorkloadTable
-	for _, p := range trace.SPEC2000() {
-		tr := p.Generate(n, seed)
-		out.Rows = append(out.Rows, characterize(p, tr))
-	}
-	return out
+	o = o.fill()
+	profiles := MatchBenchmarks(o.Bench)
+	pool := exec.Pool{Workers: o.Workers, Ctx: o.Context}
+	rows, _ := exec.Map(pool, profiles, func(_ int, p trace.Profile) WorkloadRow {
+		return characterize(p, p.Generate(o.Instructions, o.Seed))
+	})
+	return WorkloadTable{Rows: rows}
 }
 
 func characterize(p trace.Profile, tr *trace.Trace) WorkloadRow {

@@ -11,7 +11,7 @@ import (
 // properties the reproduction's conclusions depend on. If profile tuning
 // drifts outside them, the Figure 5 optima will likely move too.
 func TestWorkloadCalibrationBands(t *testing.T) {
-	tab := RunWorkloadTable(50000, 1)
+	tab := RunWorkloadTable(Options{Instructions: 50000})
 	if len(tab.Rows) != 18 {
 		t.Fatalf("got %d rows, want 18", len(tab.Rows))
 	}
@@ -69,7 +69,7 @@ func TestWorkloadCalibrationBands(t *testing.T) {
 }
 
 func TestWorkloadTableRender(t *testing.T) {
-	tab := RunWorkloadTable(5000, 1)
+	tab := RunWorkloadTable(Options{Instructions: 5000})
 	out := tab.Render()
 	if !strings.Contains(out, "181.mcf") || !strings.Contains(out, "mispr%") {
 		t.Error("render incomplete")

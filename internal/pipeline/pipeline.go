@@ -100,6 +100,12 @@ func (s Stats) AvgWindowOcc() float64 {
 }
 
 // Run simulates tr on the configured machine and returns its statistics.
+//
+// Run is safe for concurrent use: all simulation state (predictor tables,
+// cache hierarchy, window occupancy) is allocated per call, the trace is
+// only read (immutable by contract, see internal/trace), and Params is
+// passed by value. The sweep engine relies on this to run many simulations
+// of the same trace in parallel; internal/core's race tests pin it.
 func Run(p Params, tr *trace.Trace) Stats {
 	if p.Machine.InOrder {
 		return runInOrder(p, tr)

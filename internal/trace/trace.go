@@ -62,6 +62,12 @@ type Inst struct {
 }
 
 // Trace is a generated dynamic instruction stream.
+//
+// A Trace is immutable once Generate returns: simulators only read it, and
+// the sweep engine (internal/core) relies on that to share one instance
+// across concurrent pipeline.Run calls and to cache generated traces
+// process-wide. Code that needs a variant of a trace must clone it (see
+// WithPrefetchCoverage) instead of mutating a shared instance.
 type Trace struct {
 	Name  string
 	Group Group
@@ -79,6 +85,15 @@ type Trace struct {
 	// the benchmark's (software-prefetched) code covers; see
 	// mem.Hierarchy.Coverage.
 	PrefetchCoverage float64
+}
+
+// WithPrefetchCoverage returns a copy of the trace with the given prefetch
+// coverage. The instruction stream is shared with the receiver (it is
+// read-only by contract), so the clone is cheap regardless of trace length.
+func (t *Trace) WithPrefetchCoverage(cov float64) *Trace {
+	c := *t
+	c.PrefetchCoverage = cov
+	return &c
 }
 
 // RNG is a small xorshift64* generator; deterministic and fast.

@@ -117,7 +117,13 @@ type (
 	SweepPoint = core.SweepPoint
 )
 
-// DepthSweep runs the Section 4 experiment.
+// NoWarmup requests an explicitly empty warmup window in a SweepConfig
+// (the zero value keeps its default-20% meaning).
+const NoWarmup = core.NoWarmup
+
+// DepthSweep runs the Section 4 experiment. Set SweepConfig.Workers to
+// control the simulation worker pool (0 uses every core; 1 forces the
+// serial path); results are identical at any worker count.
 func DepthSweep(cfg SweepConfig) SweepResult { return core.DepthSweep(cfg) }
 
 // OverheadSensitivity runs Figure 6's family of sweeps.
