@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench-smoke check
+.PHONY: build test race vet bench-smoke telemetry-smoke profile check
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,24 @@ vet:
 
 # A fast pass over the benchmark harness: one iteration each, so every
 # experiment driver executes end to end without the full -bench cost.
+# The run emits a manifest (environment, wall time, telemetry) next to
+# the numbers, so recorded perf-trajectory runs are self-describing.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x . -args -manifest bench-smoke-manifest.json
+	$(GO) run ./cmd/manifestcheck bench-smoke-manifest.json
 
-check: build vet test race
+# End-to-end telemetry check: run a small sweep with profiling and a
+# manifest, then assert the manifest parses and carries the required keys.
+telemetry-smoke:
+	$(GO) run ./cmd/pipesweep -n 2000 -cpuprofile /tmp/cpu.pprof -manifest /tmp/manifest.json > /dev/null
+	$(GO) run ./cmd/manifestcheck /tmp/manifest.json
+
+# CPU + heap profiles (and a manifest) for the depth sweep; inspect with
+#   $(GO) tool pprof -top cpu.pprof
+profile:
+	$(GO) run ./cmd/pipesweep -fig 5 -n 20000 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -manifest profile-manifest.json > /dev/null
+	@echo "wrote cpu.pprof, mem.pprof, profile-manifest.json"
+	@echo "inspect with: $(GO) tool pprof -top cpu.pprof"
+
+check: build vet test race telemetry-smoke

@@ -13,6 +13,18 @@ import (
 
 func main() {
 	asJSON := cliflags.JSONFlag()
+	tel := cliflags.RegisterTel()
 	flag.Parse()
-	cliflags.Emit(*asJSON, experiments.RunTable3(), experiments.RunStructureSummary())
+	run := tel.MustStart("cactigen")
+	rec := run.Recorder()
+
+	endT3 := rec.Study("table3")
+	t3 := experiments.RunTable3()
+	endT3()
+	endSum := rec.Study("structure-summary")
+	sum := experiments.RunStructureSummary()
+	endSum()
+
+	cliflags.Emit(*asJSON, t3, sum)
+	cliflags.MustClose(run)
 }

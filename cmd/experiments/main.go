@@ -12,17 +12,23 @@ import (
 
 func main() {
 	sim := cliflags.Register(experiments.Full.Instructions)
+	tel := cliflags.RegisterTel()
 	latchStep := flag.Float64("latchstep", 2.0, "latch sweep granularity, ps")
 	skipCircuit := flag.Bool("nocircuit", false, "skip the (slow) circuit-level experiments")
 	flag.Parse()
-	o := sim.MustOptions()
+	o, run := cliflags.MustRun("experiments", sim, tel)
+	rec := run.Recorder()
 
 	results := []cliflags.Result{experiments.RunFigure1()}
 	if !*skipCircuit {
+		end := rec.Study("table1")
 		results = append(results, experiments.RunTable1(*latchStep))
+		end()
 	}
+	endT3 := rec.Study("table3")
+	results = append(results, experiments.RunTable3())
+	endT3()
 	results = append(results,
-		experiments.RunTable3(),
 		experiments.RunFigure4a(o),
 		experiments.RunFigure4b(o),
 		experiments.RunFigure5(o),
@@ -37,4 +43,5 @@ func main() {
 		experiments.RunHeadline(o),
 	)
 	cliflags.Emit(*sim.JSON, results...)
+	cliflags.MustClose(run)
 }

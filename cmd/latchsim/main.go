@@ -15,6 +15,15 @@ import (
 func main() {
 	step := flag.Float64("step", 1.0, "data-edge sweep granularity in ps")
 	asJSON := cliflags.JSONFlag()
+	tel := cliflags.RegisterTel()
 	flag.Parse()
-	cliflags.Emit(*asJSON, experiments.RunTable1(*step))
+	run := tel.MustStart("latchsim")
+	run.SetConfig("step_ps", *step)
+
+	end := run.Recorder().Study("table1")
+	res := experiments.RunTable1(*step)
+	end()
+
+	cliflags.Emit(*asJSON, res)
+	cliflags.MustClose(run)
 }

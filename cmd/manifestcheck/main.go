@@ -1,0 +1,60 @@
+// Command manifestcheck validates a run-manifest JSON produced by any
+// study binary's -manifest flag: it must parse, carry the required
+// environment and telemetry keys, and round-trip through encoding/json.
+// CI's telemetry smoke step runs it against a fresh cmd/pipesweep
+// manifest; use it locally to sanity-check recorded perf runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck <manifest.json> [more.json ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func check(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return err
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	// Round-trip: what we re-marshal must parse back to the same manifest.
+	again, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	var m2 obs.Manifest
+	if err := json.Unmarshal(again, &m2); err != nil {
+		return err
+	}
+	fmt.Printf("%s ok: command=%s go=%s gomaxprocs=%d studies=%d tasks=%d wall=%.0fms\n",
+		path, m.Command, m.GoVersion, m.GOMAXPROCS,
+		len(m.Telemetry.Studies), m.Telemetry.Tasks.Count, m.WallMS)
+	return nil
+}

@@ -14,28 +14,31 @@ import (
 
 func main() {
 	sim := cliflags.Register(experiments.Full.Instructions)
+	tel := cliflags.RegisterTel()
 	which := flag.String("fig", "all", "figure to run: 4a, 4b, 5, 6 or all")
 	flag.Parse()
-	o := sim.MustOptions()
 
-	run := map[string]func() cliflags.Result{
-		"4a": func() cliflags.Result { return experiments.RunFigure4a(o) },
-		"4b": func() cliflags.Result { return experiments.RunFigure4b(o) },
-		"5":  func() cliflags.Result { return experiments.RunFigure5(o) },
-		"6":  func() cliflags.Result { return experiments.RunFigure6(o) },
+	run := map[string]func(experiments.Options) cliflags.Result{
+		"4a": func(o experiments.Options) cliflags.Result { return experiments.RunFigure4a(o) },
+		"4b": func(o experiments.Options) cliflags.Result { return experiments.RunFigure4b(o) },
+		"5":  func(o experiments.Options) cliflags.Result { return experiments.RunFigure5(o) },
+		"6":  func(o experiments.Options) cliflags.Result { return experiments.RunFigure6(o) },
 	}
-	if *which == "all" {
-		var results []cliflags.Result
-		for _, k := range []string{"4a", "4b", "5", "6"} {
-			results = append(results, run[k]())
-		}
-		cliflags.Emit(*sim.JSON, results...)
-		return
-	}
-	f, ok := run[*which]
-	if !ok {
+	if _, ok := run[*which]; !ok && *which != "all" {
 		fmt.Fprintln(os.Stderr, "unknown figure; use 4a, 4b, 5, 6 or all")
 		os.Exit(2)
 	}
-	cliflags.Emit(*sim.JSON, f())
+	o, tr := cliflags.MustRun("pipesweep", sim, tel)
+	tr.SetConfig("fig", *which)
+
+	var results []cliflags.Result
+	if *which == "all" {
+		for _, k := range []string{"4a", "4b", "5", "6"} {
+			results = append(results, run[k](o))
+		}
+	} else {
+		results = append(results, run[*which](o))
+	}
+	cliflags.Emit(*sim.JSON, results...)
+	cliflags.MustClose(tr)
 }

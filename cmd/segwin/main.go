@@ -13,8 +13,9 @@ import (
 
 func main() {
 	sim := cliflags.Register(experiments.Full.Instructions)
+	tel := cliflags.RegisterTel()
 	flag.Parse()
-	o := sim.MustOptions()
+	o, run := cliflags.MustRun("segwin", sim, tel)
 
 	cliflags.Emit(*sim.JSON,
 		experiments.RunFigure8(o),
@@ -22,4 +23,5 @@ func main() {
 		experiments.RunSegmentedSelect(o),
 		experiments.RunCray1S(o),
 	)
+	cliflags.MustClose(run)
 }

@@ -13,7 +13,9 @@ import (
 
 func main() {
 	sim := cliflags.Register(experiments.Full.Instructions)
+	tel := cliflags.RegisterTel()
 	flag.Parse()
-	o := sim.MustOptions()
+	o, run := cliflags.MustRun("structopt", sim, tel)
 	cliflags.Emit(*sim.JSON, experiments.RunFigure7(o))
+	cliflags.MustClose(run)
 }

@@ -15,7 +15,9 @@ import (
 
 func main() {
 	sim := cliflags.Register(100000)
+	tel := cliflags.RegisterTel()
 	flag.Parse()
-	o := sim.MustOptions()
+	o, run := cliflags.MustRun("traceinfo", sim, tel)
 	cliflags.Emit(*sim.JSON, experiments.RunWorkloadTable(o))
+	cliflags.MustClose(run)
 }

@@ -16,7 +16,9 @@ import (
 
 func main() {
 	sim := cliflags.Register(experiments.Full.Instructions)
+	tel := cliflags.RegisterTel()
 	flag.Parse()
-	o := sim.MustOptions()
+	o, run := cliflags.MustRun("wirestudy", sim, tel)
 	cliflags.Emit(*sim.JSON, experiments.RunWireStudy(o))
+	cliflags.MustClose(run)
 }

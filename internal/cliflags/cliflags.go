@@ -1,7 +1,9 @@
 // Package cliflags centralizes the flag surface shared by the cmd/
 // binaries. Every simulation-driven command accepts the same -n, -seed,
-// -workers, -bench and -json flags with identical semantics; commands add
-// their own extras (like pipesweep's -fig) on top.
+// -workers, -bench and -json flags with identical semantics, plus the
+// telemetry surface (-v, -quiet, -manifest, -cpuprofile, -memprofile,
+// -trace) from internal/obs; commands add their own extras (like
+// pipesweep's -fig) on top.
 package cliflags
 
 import (
@@ -11,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // Sim holds the simulation flags every study binary accepts.
@@ -70,6 +73,79 @@ func (s *Sim) MustOptions() experiments.Options {
 		os.Exit(2)
 	}
 	return o
+}
+
+// Tel holds the telemetry flags every study binary accepts. The run log
+// goes to stderr so it never mixes into the study output on stdout.
+type Tel struct {
+	Verbose    *bool
+	Quiet      *bool
+	Manifest   *string
+	CPUProfile *string
+	MemProfile *string
+	Trace      *string
+}
+
+// RegisterTel declares the shared telemetry flags on the default flag
+// set; call it before flag.Parse, alongside Register.
+func RegisterTel() *Tel {
+	return &Tel{
+		Verbose:    flag.Bool("v", false, "verbose run log on stderr (per-study progress)"),
+		Quiet:      flag.Bool("quiet", false, "log only errors on stderr"),
+		Manifest:   flag.String("manifest", "", "write a run-manifest JSON (environment, config, timings, counters) to this path"),
+		CPUProfile: flag.String("cpuprofile", "", "write a CPU profile to this path"),
+		MemProfile: flag.String("memprofile", "", "write a heap profile to this path"),
+		Trace:      flag.String("trace", "", "write a runtime execution trace to this path"),
+	}
+}
+
+// Start validates the parsed telemetry flags and opens the run: logger
+// configured, profiling started. The caller owns the returned run and
+// must Close it after emitting its output.
+func (t *Tel) Start(command string) (*obs.Run, error) {
+	return obs.Start(obs.StartOptions{
+		Command:    command,
+		Verbose:    *t.Verbose,
+		Quiet:      *t.Quiet,
+		Manifest:   *t.Manifest,
+		CPUProfile: *t.CPUProfile,
+		MemProfile: *t.MemProfile,
+		Trace:      *t.Trace,
+	})
+}
+
+// MustStart is Start with the conventional exit-on-error behavior.
+func (t *Tel) MustStart(command string) *obs.Run {
+	run, err := t.Start(command)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+	return run
+}
+
+// MustRun is the one-call setup for the simulation binaries: validate the
+// simulation flags, start telemetry, record the simulation configuration
+// in the manifest, and hand the recorder to the experiment options.
+func MustRun(command string, sim *Sim, tel *Tel) (experiments.Options, *obs.Run) {
+	o := sim.MustOptions()
+	run := tel.MustStart(command)
+	run.SetConfig("instructions", o.Instructions)
+	run.SetConfig("seed", o.Seed)
+	run.SetConfig("workers", o.Workers)
+	run.SetConfig("bench", o.Bench)
+	run.SetConfig("json", *sim.JSON)
+	o.Obs = run.Recorder()
+	return o, run
+}
+
+// MustClose finishes a telemetry run — stops profiles, writes the heap
+// profile and manifest — exiting nonzero if any of that fails.
+func MustClose(run *obs.Run) {
+	if err := run.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
 }
 
 // Result is what every experiment driver returns: a text rendering in the

@@ -1,8 +1,13 @@
 package cliflags
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func sim(n, workers int, seed uint64, bench string) *Sim {
@@ -55,5 +60,74 @@ func TestJSONFallbackWrapsText(t *testing.T) {
 	}
 	if !strings.Contains(string(raw), `"text": "plain"`) {
 		t.Errorf("fallback JSON = %s", raw)
+	}
+}
+
+func tel(verbose, quiet bool, manifest, cpu, mem, trc string) *Tel {
+	return &Tel{
+		Verbose:    &verbose,
+		Quiet:      &quiet,
+		Manifest:   &manifest,
+		CPUProfile: &cpu,
+		MemProfile: &mem,
+		Trace:      &trc,
+	}
+}
+
+func TestTelStartRejectsVerboseQuiet(t *testing.T) {
+	_, err := tel(true, true, "", "", "", "").Start("x")
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v, want the -v/-quiet exclusivity error", err)
+	}
+}
+
+func TestTelStartRejectsBadProfilePaths(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "missing", "p.out")
+	cases := map[string]*Tel{
+		"cpuprofile": tel(false, false, "", bad, "", ""),
+		"trace":      tel(false, false, "", "", "", bad),
+	}
+	for name, tl := range cases {
+		if _, err := tl.Start("x"); err == nil {
+			t.Errorf("Start accepted unwritable -%s path", name)
+		}
+	}
+}
+
+func TestTelLifecycleEmitsValidManifest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+	run, err := tel(false, false, path, "", filepath.Join(dir, "mem.pprof"), "").Start("cliflags-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.SetConfig("instructions", 1234)
+	end := run.Recorder().Study("probe")
+	end()
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("manifest invalid: %v", err)
+	}
+	if m.Command != "cliflags-test" || len(m.Telemetry.Studies) != 1 {
+		t.Errorf("manifest = command %q, %d studies", m.Command, len(m.Telemetry.Studies))
+	}
+}
+
+func TestOptionsRejectsBenchWithOnlySpaces(t *testing.T) {
+	// A filter of whitespace matches no benchmark name and must be
+	// rejected like any other unknown filter, not silently run nothing.
+	_, err := sim(40000, 0, 1, "   ").Options()
+	if err == nil || !strings.Contains(err.Error(), "matches no SPEC 2000 benchmark") {
+		t.Errorf("err = %v, want no-match rejection", err)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/fo4"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
@@ -54,6 +55,12 @@ type SweepConfig struct {
 	// study returns promptly with incomplete results; callers that cancel
 	// should discard the result and check Context.Err().
 	Context context.Context
+
+	// Obs, when non-nil, receives telemetry for this sweep: per-task
+	// durations and queue wait through the executor's hooks, plus
+	// trace-cache and simulation counters. Telemetry is observation-only —
+	// results are byte-for-byte identical with Obs nil or set.
+	Obs *obs.Recorder
 }
 
 func (c *SweepConfig) fill() {

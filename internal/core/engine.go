@@ -20,9 +20,15 @@ import (
 	"repro/internal/trace"
 )
 
-// pool builds the executor configuration for this sweep.
+// pool builds the executor configuration for this sweep, wiring the
+// sweep's recorder (when present) onto the executor's observation hooks.
 func (c SweepConfig) pool() exec.Pool {
-	return exec.Pool{Workers: c.Workers, Ctx: c.Context}
+	p := exec.Pool{Workers: c.Workers, Ctx: c.Context}
+	if c.Obs != nil {
+		p.OnTaskStart = c.Obs.TaskStart
+		p.OnTaskDone = c.Obs.TaskDone
+	}
+	return p
 }
 
 // cancelled reports whether the sweep's context has been cancelled.
@@ -42,6 +48,7 @@ type simTask struct {
 // check cancelled() before aggregating (a zero IPC would poison the
 // harmonic means).
 func runSims(cfg SweepConfig, tasks []simTask) []pipeline.Stats {
+	cfg.Obs.Add("simulations", int64(len(tasks)))
 	stats, _ := exec.Map(cfg.pool(), tasks, func(_ int, t simTask) pipeline.Stats {
 		return pipeline.Run(t.params, t.tr)
 	})
@@ -70,11 +77,14 @@ func (c SweepConfig) traces() []*trace.Trace {
 	out, _ := exec.Map(c.pool(), c.Benchmarks, func(_ int, p trace.Profile) *trace.Trace {
 		key := traceKey{profile: p, instructions: c.Instructions, seed: c.Seed}
 		if v, ok := traceCache.Load(key); ok {
+			c.Obs.Add("trace_cache_hits", 1)
 			return v.(*trace.Trace)
 		}
 		// Two workers may race to generate the same trace; Generate is
 		// deterministic, so either result is identical and LoadOrStore
-		// just picks a canonical pointer.
+		// just picks a canonical pointer. Either racer counts a miss: the
+		// generation work really happened twice.
+		c.Obs.Add("trace_cache_misses", 1)
 		v, _ := traceCache.LoadOrStore(key, p.Generate(c.Instructions, c.Seed))
 		return v.(*trace.Trace)
 	})

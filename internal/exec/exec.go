@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Pool sizes one executor invocation.
@@ -25,6 +26,21 @@ type Pool struct {
 
 	// Ctx cancels a run early; nil means the run cannot be cancelled.
 	Ctx context.Context
+
+	// OnTaskStart, when non-nil, is called on the worker's goroutine just
+	// before job index runs. worker identifies the worker (0..size-1; the
+	// serial path is always worker 0) and queueWait is the time elapsed
+	// between Map submitting the grid and this job being picked up.
+	// OnTaskDone is called right after the job returns, with its duration.
+	//
+	// Hook contract: hooks are observation-only. Map never alters
+	// scheduling, ordering or results based on them, so output stays
+	// byte-for-byte identical whether they are set or nil; hooks must be
+	// safe for concurrent calls (every worker invokes them) and must not
+	// mutate items or results. internal/obs.Recorder satisfies both
+	// signatures directly.
+	OnTaskStart func(worker, index int, queueWait time.Duration)
+	OnTaskDone  func(worker, index int, dur time.Duration)
 }
 
 // size resolves the worker count for n items.
@@ -65,12 +81,30 @@ func Map[T, R any](p Pool, items []T, fn func(int, T) R) ([]R, error) {
 	ctx := p.ctx()
 	workers := p.size(len(items))
 
+	// call wraps fn with the observation hooks; when no hook is set it is
+	// fn itself modulo the worker id, so the hot path stays time.Now-free.
+	call := func(w, i int, it T) R { return fn(i, it) }
+	if p.OnTaskStart != nil || p.OnTaskDone != nil {
+		submitted := time.Now()
+		call = func(w, i int, it T) R {
+			start := time.Now()
+			if p.OnTaskStart != nil {
+				p.OnTaskStart(w, i, start.Sub(submitted))
+			}
+			r := fn(i, it)
+			if p.OnTaskDone != nil {
+				p.OnTaskDone(w, i, time.Since(start))
+			}
+			return r
+		}
+	}
+
 	if workers == 1 {
 		for i, it := range items {
 			if err := ctx.Err(); err != nil {
 				return results, err
 			}
-			results[i] = fn(i, it)
+			results[i] = call(0, i, it)
 		}
 		return results, ctx.Err()
 	}
@@ -79,7 +113,7 @@ func Map[T, R any](p Pool, items []T, fn func(int, T) R) ([]R, error) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				if ctx.Err() != nil {
@@ -89,9 +123,9 @@ func Map[T, R any](p Pool, items []T, fn func(int, T) R) ([]R, error) {
 				if i >= len(items) {
 					return
 				}
-				results[i] = fn(i, items[i])
+				results[i] = call(w, i, items[i])
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return results, ctx.Err()

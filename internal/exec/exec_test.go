@@ -3,8 +3,10 @@ package exec
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func items(n int) []int {
@@ -108,5 +110,87 @@ func TestPoolSize(t *testing.T) {
 	}
 	if got := (Pool{}).size(100); got < 1 {
 		t.Errorf("default workers: got %d, want >= 1", got)
+	}
+}
+
+func TestHooksObserveEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		started := map[int]int{}
+		done := map[int]int{}
+		maxWorker := 0
+		p := Pool{
+			Workers: workers,
+			OnTaskStart: func(w, i int, queueWait time.Duration) {
+				mu.Lock()
+				started[i]++
+				if w > maxWorker {
+					maxWorker = w
+				}
+				if queueWait < 0 {
+					t.Errorf("negative queue wait %v", queueWait)
+				}
+				mu.Unlock()
+			},
+			OnTaskDone: func(w, i int, d time.Duration) {
+				mu.Lock()
+				done[i]++
+				if d < 0 {
+					t.Errorf("negative duration %v", d)
+				}
+				mu.Unlock()
+			},
+		}
+		got, err := Map(p, items(57), func(i, v int) int { return v * 2 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*2 {
+				t.Fatalf("workers=%d: hooks disturbed results: slot %d = %d", workers, i, v)
+			}
+		}
+		if len(started) != 57 || len(done) != 57 {
+			t.Fatalf("workers=%d: started %d / done %d indexes, want 57", workers, len(started), len(done))
+		}
+		for i := 0; i < 57; i++ {
+			if started[i] != 1 || done[i] != 1 {
+				t.Fatalf("workers=%d: index %d started %d / done %d times", workers, i, started[i], done[i])
+			}
+		}
+		if maxWorker >= (p.size(57)) {
+			t.Errorf("workers=%d: worker id %d out of range", workers, maxWorker)
+		}
+		if workers == 1 && maxWorker != 0 {
+			t.Errorf("serial path must report worker 0, saw %d", maxWorker)
+		}
+	}
+}
+
+func TestHooksDoNotChangeOutput(t *testing.T) {
+	fn := func(i, v int) uint64 {
+		x := uint64(v)*2654435761 + 1
+		for k := 0; k < 50; k++ {
+			x ^= x >> 13
+			x *= 0x9E3779B97F4A7C15
+		}
+		return x
+	}
+	plain, err := Map(Pool{Workers: 4}, items(123), fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked, err := Map(Pool{
+		Workers:     4,
+		OnTaskStart: func(w, i int, q time.Duration) {},
+		OnTaskDone:  func(w, i int, d time.Duration) {},
+	}, items(123), fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != hooked[i] {
+			t.Fatalf("slot %d: plain %d != hooked %d", i, plain[i], hooked[i])
+		}
 	}
 }

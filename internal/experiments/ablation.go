@@ -18,6 +18,7 @@ type AblationResult struct {
 // optimum, plus the stream-prefetch substitution's effect.
 func RunAblation(o Options) AblationResult {
 	o = o.fill()
+	defer o.Obs.Study("ablation")()
 	cfg := o.sweepConfig(config.Alpha21264())
 	res := AblationResult{Points: core.AblationStudy(cfg)}
 	res.PrefetchWith, res.PrefetchWithout = core.PrefetchAblation(cfg)

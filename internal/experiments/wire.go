@@ -21,6 +21,7 @@ type WireStudyResult struct {
 // RunWireStudy runs the wire-delay extension on the out-of-order machine.
 func RunWireStudy(o Options) WireStudyResult {
 	o = o.fill()
+	defer o.Obs.Study("wire-study")()
 	cfg := o.sweepConfig(config.Alpha21264())
 	wm := wire.Default100nm
 	without, with := core.WireStudy(cfg, wm)

@@ -45,8 +45,13 @@ func RunWorkloadTable(o Options) WorkloadTable {
 		o.Instructions = 50000
 	}
 	o = o.fill()
+	defer o.Obs.Study("workload-table")()
 	profiles := MatchBenchmarks(o.Bench)
 	pool := exec.Pool{Workers: o.Workers, Ctx: o.Context}
+	if o.Obs != nil {
+		pool.OnTaskStart = o.Obs.TaskStart
+		pool.OnTaskDone = o.Obs.TaskDone
+	}
 	rows, _ := exec.Map(pool, profiles, func(_ int, p trace.Profile) WorkloadRow {
 		return characterize(p, p.Generate(o.Instructions, o.Seed))
 	})

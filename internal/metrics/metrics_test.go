@@ -95,3 +95,39 @@ func TestBIPS(t *testing.T) {
 		t.Errorf("BIPS(2, 3GHz) = %v, want 6", got)
 	}
 }
+
+func TestArgMaxSkipsNaN(t *testing.T) {
+	// A NaN at index 0 loses every comparison; the scan must not let it
+	// win by default.
+	if got := ArgMax([]float64{math.NaN(), 1, 2}); got != 2 {
+		t.Errorf("ArgMax(NaN,1,2) = %d, want 2", got)
+	}
+	if got := ArgMax([]float64{math.NaN(), 5, math.NaN(), 3}); got != 1 {
+		t.Errorf("ArgMax(NaN,5,NaN,3) = %d, want 1", got)
+	}
+	if got := ArgMax([]float64{2, math.NaN(), 1}); got != 0 {
+		t.Errorf("ArgMax(2,NaN,1) = %d, want 0", got)
+	}
+}
+
+func TestArgMaxAllNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for all-NaN series")
+		}
+	}()
+	ArgMax([]float64{math.NaN(), math.NaN()})
+}
+
+func TestNormalizePanicsOnBadBase(t *testing.T) {
+	for _, base := range []float64{0, -2, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for base %v", base)
+				}
+			}()
+			Normalize([]float64{1, base, 3}, 1)
+		}()
+	}
+}

@@ -1,0 +1,43 @@
+package repro_test
+
+// Run-manifest support for the benchmark harness: `make bench-smoke`
+// passes `-args -manifest <path>` so every recorded perf-trajectory run
+// is self-describing — the manifest pins the Go version, GOMAXPROCS and
+// wall time next to the benchmark numbers (see internal/obs).
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var benchManifest = flag.String("manifest", "", "write a run-manifest JSON for this test/bench invocation to this path")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	var rec *obs.Recorder
+	if *benchManifest != "" {
+		// Only record when a manifest was asked for, so plain `go test`
+		// timings stay hook-free.
+		rec = obs.New(nil)
+		benchOpts.Obs = rec
+	}
+	start := time.Now()
+	code := m.Run()
+	if *benchManifest != "" {
+		man := obs.NewManifest("go-test-bench", map[string]any{
+			"instructions": benchOpts.Instructions,
+		}, time.Since(start), rec.Snapshot())
+		if err := obs.WriteManifest(*benchManifest, man); err != nil {
+			fmt.Fprintln(os.Stderr, "error writing bench manifest:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
