@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench-smoke telemetry-smoke profile check
+.PHONY: build test race vet lint fuzz-smoke bench-smoke telemetry-smoke profile check
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,20 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: the repo's invariant-enforcing rule suite
+# (cmd/reprolint -list names the rules). Exits nonzero on any finding,
+# so a determinism or telemetry-inertness violation fails the build
+# instead of waiting for a regression test to sample it.
+lint:
+	$(GO) run ./cmd/reprolint ./...
+
+# A short fuzz pass over the two external input surfaces: the shared
+# CLI flag parser and the run-manifest validator. 10s per target keeps
+# it CI-sized; drop -fuzztime for a real hunt.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSimFlags -fuzztime 10s ./internal/cliflags
+	$(GO) test -run '^$$' -fuzz FuzzManifestCheck -fuzztime 10s ./cmd/manifestcheck
 
 # A fast pass over the benchmark harness: one iteration each, so every
 # experiment driver executes end to end without the full -bench cost.
@@ -36,4 +50,5 @@ profile:
 	@echo "wrote cpu.pprof, mem.pprof, profile-manifest.json"
 	@echo "inspect with: $(GO) tool pprof -top cpu.pprof"
 
-check: build vet test race telemetry-smoke
+# The documented pre-push command.
+check: build vet test race lint

@@ -37,24 +37,41 @@ func check(path string) error {
 	if err != nil {
 		return err
 	}
-	var m obs.Manifest
-	if err := json.Unmarshal(raw, &m); err != nil {
-		return err
-	}
-	if err := m.Validate(); err != nil {
-		return err
-	}
-	// Round-trip: what we re-marshal must parse back to the same manifest.
-	again, err := json.Marshal(m)
+	summary, err := checkBytes(raw)
 	if err != nil {
 		return err
 	}
+	fmt.Printf("%s %s\n", path, summary)
+	return nil
+}
+
+// checkBytes validates one manifest document: it must parse, pass
+// obs.Manifest.Validate, and survive a marshal/unmarshal round trip
+// that re-validates. It returns the one-line summary for a valid
+// manifest. Split from check so the fuzz target can drive it on raw
+// bytes.
+func checkBytes(raw []byte) (string, error) {
+	var m obs.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return "", err
+	}
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	// Round-trip: what we re-marshal must parse back to a manifest that
+	// still validates.
+	again, err := json.Marshal(m)
+	if err != nil {
+		return "", err
+	}
 	var m2 obs.Manifest
 	if err := json.Unmarshal(again, &m2); err != nil {
-		return err
+		return "", err
 	}
-	fmt.Printf("%s ok: command=%s go=%s gomaxprocs=%d studies=%d tasks=%d wall=%.0fms\n",
-		path, m.Command, m.GoVersion, m.GOMAXPROCS,
-		len(m.Telemetry.Studies), m.Telemetry.Tasks.Count, m.WallMS)
-	return nil
+	if err := m2.Validate(); err != nil {
+		return "", fmt.Errorf("round-tripped manifest no longer validates: %w", err)
+	}
+	return fmt.Sprintf("ok: command=%s go=%s gomaxprocs=%d studies=%d tasks=%d wall=%.0fms",
+		m.Command, m.GoVersion, m.GOMAXPROCS,
+		len(m.Telemetry.Studies), m.Telemetry.Tasks.Count, m.WallMS), nil
 }

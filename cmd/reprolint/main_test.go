@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// chdir moves the process into dir for one test; the driver resolves
+// the module from the working directory like the real binary does.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+// writeModule lays out a throwaway module on disk: files maps
+// module-relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const cleanCircuit = `// Package circuit is a deterministic stand-in.
+package circuit
+
+// Delay is a pure function.
+func Delay(fo4 float64) float64 { return 6.5 * fo4 }
+`
+
+// injectedCircuit carries the nondet/bad fixture's violation shape,
+// injected into a simulation package path where the default scopes
+// must catch it.
+const injectedCircuit = `// Package circuit sneaks in a clock read.
+package circuit
+
+import "time"
+
+// Delay depends on when it runs.
+func Delay(fo4 float64) float64 {
+	return 6.5 * fo4 * float64(time.Now().Unix()%2+1)
+}
+`
+
+// TestInjectedViolation is the acceptance check: a fixture-shaped
+// violation injected into a simulation package must make the driver
+// exit nonzero with a correct file:line finding, and the clean variant
+// of the same module must exit zero.
+func TestInjectedViolation(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":                      "module faux\n\ngo 1.22\n",
+		"internal/circuit/circuit.go": injectedCircuit,
+	})
+	chdir(t, root)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	const want = "internal/circuit/circuit.go:8: nondeterminism:"
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("output missing %q:\n%s", want, out.String())
+	}
+}
+
+func TestCleanModule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":                      "module faux\n\ngo 1.22\n",
+		"internal/circuit/circuit.go": cleanCircuit,
+	})
+	chdir(t, root)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout: %s stderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() > 0 {
+		t.Errorf("clean module produced output: %s", out.String())
+	}
+}
+
+// TestJSONAndFilters: -json must emit a parseable array, and package
+// patterns must narrow what is analyzed.
+func TestJSONAndFilters(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":                      "module faux\n\ngo 1.22\n",
+		"internal/circuit/circuit.go": injectedCircuit,
+		"internal/fo4/fo4.go":         "// Package fo4 is clean.\npackage fo4\n\n// X is a constant.\nconst X = 1\n",
+	})
+	chdir(t, root)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./internal/..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	if len(findings) != 1 || findings[0].Rule != "nondeterminism" || findings[0].Line != 8 {
+		t.Errorf("unexpected findings: %+v", findings)
+	}
+
+	// Filtering to the clean subtree must exit 0.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"./internal/fo4"}, &out, &errb); code != 0 {
+		t.Fatalf("filtered run exit = %d, want 0; stdout: %s stderr: %s", code, out.String(), errb.String())
+	}
+
+	// A pattern matching nothing is a usage error.
+	if code := run([]string{"./nosuch/..."}, &out, &errb); code != 2 {
+		t.Errorf("no-match pattern exit = %d, want 2", code)
+	}
+}
+
+// TestListAndRules: -list names every rule; -rules filters and rejects
+// unknown names.
+func TestListAndRules(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, a := range analysis.Analyzers() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing rule %s", a.Name)
+		}
+	}
+	if code := run([]string{"-rules", "nosuchrule"}, &out, &errb); code != 2 {
+		t.Errorf("unknown -rules exit = %d, want 2", code)
+	}
+}

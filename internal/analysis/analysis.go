@@ -1,0 +1,264 @@
+// Package analysis is a stdlib-only static-analysis framework that
+// proves the repo's cross-cutting invariants per commit instead of
+// sampling them at runtime. The two flagship regression guarantees —
+// bit-for-bit worker-count-invariant sweeps and byte-for-byte telemetry
+// inertness — are structural properties of the code: simulation
+// packages must not read clocks, iterate maps, mutate shared traces,
+// read telemetry, or spawn goroutines. Each rule is an Analyzer run
+// over every package of the module, loaded and type-checked with
+// go/parser + go/types (no go/analysis, no x/tools).
+//
+// Violations that are intentional (the telemetry layer's own clock
+// reads, for instance) are suppressed in place with a directive that
+// must name the rule and justify itself:
+//
+//	start := time.Now() //reprolint:allow nondeterminism: wall time feeds the manifest only
+//
+// Directives fail closed: an unknown rule name, a missing
+// justification, or a directive that matches no finding is itself
+// reported, so a stale or typoed suppression can never silently widen.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named rule. Run inspects a single type-checked
+// package and reports findings through the pass.
+type Analyzer struct {
+	// Name is the rule name, as printed in findings and matched by
+	// //reprolint:allow directives.
+	Name string
+	// Doc is a one-line description of the invariant the rule encodes.
+	Doc string
+	// Appl reports whether the rule applies to a package, identified by
+	// its module-root-relative directory ("" is the module root,
+	// "internal/core", "cmd/pipesweep", ...). A nil Appl applies
+	// everywhere.
+	Appl func(rel string) bool
+	// Run inspects one package and reports findings.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+	// Mod is the module path; analyzers use it to identify module types
+	// (trace.Trace, obs.Recorder) without hardcoding the module name.
+	Mod string
+
+	root     string
+	rule     string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	file := position.Filename
+	if rel, err := filepath.Rel(p.root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	*p.findings = append(*p.findings, Finding{
+		File:    file,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the canonical "file:line: rule: message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Rule, f.Message)
+}
+
+// DirectiveRule is the pseudo-rule name under which malformed or
+// unmatched suppression directives are reported. It is not a real
+// analyzer, so directive errors can never themselves be suppressed.
+const DirectiveRule = "directive"
+
+// directivePrefix introduces a suppression comment. The full syntax is
+//
+//	//reprolint:allow <rule>: <why>
+//
+// placed either at the end of the flagged line or on its own line
+// immediately above it.
+const directivePrefix = "//reprolint:allow"
+
+// directive is one parsed //reprolint:allow comment.
+type directive struct {
+	file string // root-relative, matching Finding.File
+	line int
+	rule string
+	why  string
+}
+
+// Options configures a Run.
+type Options struct {
+	// IgnoreScope applies every analyzer to every package regardless of
+	// its Appl predicate. Fixture tests use it, since fixture packages
+	// live under testdata and no real scope matches them.
+	IgnoreScope bool
+}
+
+// Run applies the analyzers to the packages, resolves suppression
+// directives, and returns the surviving findings sorted by position.
+// Directive problems — unknown rule, missing justification, or a
+// directive that suppresses nothing — come back as findings under the
+// "directive" pseudo-rule, so the suite fails closed.
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer, opts Options) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var raw []Finding
+	var dirs []directive
+	var dirErrs []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !opts.IgnoreScope && a.Appl != nil && !a.Appl(pkg.Rel) {
+				continue
+			}
+			pass := &Pass{Fset: l.Fset(), Pkg: pkg, Mod: l.ModulePath, root: l.Root, rule: a.Name, findings: &raw}
+			a.Run(pass)
+		}
+		d, errs := collectDirectives(l, pkg, known)
+		dirs = append(dirs, d...)
+		dirErrs = append(dirErrs, errs...)
+	}
+
+	kept, unused := suppress(raw, dirs)
+	for _, d := range unused {
+		dirErrs = append(dirErrs, Finding{
+			File: d.file, Line: d.line, Rule: DirectiveRule,
+			Message: fmt.Sprintf("suppression for %q matches no finding; the directive must sit on the flagged line or the line directly above it", d.rule),
+		})
+	}
+	kept = append(kept, dirErrs...)
+	sortFindings(kept)
+	return kept
+}
+
+// collectDirectives parses every //reprolint:allow comment in the
+// package. Malformed directives (no rule, unknown rule, missing why)
+// are returned as fail-closed findings and do not suppress anything.
+func collectDirectives(l *Loader, pkg *Package, known map[string]bool) ([]directive, []Finding) {
+	var out []directive
+	var errs []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := l.Fset().Position(c.Pos())
+				file := pos.Filename
+				if rel, err := filepath.Rel(l.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = filepath.ToSlash(rel)
+				}
+				bad := func(format string, args ...any) {
+					errs = append(errs, Finding{
+						File: file, Line: pos.Line, Rule: DirectiveRule,
+						Message: fmt.Sprintf(format, args...),
+					})
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other //reprolint:allowfoo token, not ours
+				}
+				rule, why, hasWhy := strings.Cut(strings.TrimSpace(rest), ":")
+				rule = strings.TrimSpace(rule)
+				why = strings.TrimSpace(why)
+				switch {
+				case rule == "":
+					bad("malformed directive: want //reprolint:allow <rule>: <why>")
+				case strings.ContainsAny(rule, " \t"):
+					bad("malformed directive %q: suppress one rule per directive, as //reprolint:allow <rule>: <why>", rule)
+				case !known[rule]:
+					bad("unknown rule %q in suppression directive (known rules: %s)", rule, strings.Join(sortedKeys(known), ", "))
+				case !hasWhy || why == "":
+					bad("suppression of %q is missing its justification: use //reprolint:allow %s: <why>", rule, rule)
+				default:
+					out = append(out, directive{file: file, line: pos.Line, rule: rule, why: why})
+				}
+			}
+		}
+	}
+	return out, errs
+}
+
+// suppress drops findings covered by a directive. A directive covers
+// findings of its rule in its file on its own line (trailing comment)
+// or the line directly below (comment above the flagged line). It
+// returns surviving findings and directives that covered nothing.
+func suppress(findings []Finding, dirs []directive) (kept []Finding, unused []directive) {
+	used := make([]bool, len(dirs))
+	for _, f := range findings {
+		covered := false
+		for i, d := range dirs {
+			if d.rule == f.Rule && d.file == f.File && (d.line == f.Line || d.line+1 == f.Line) {
+				used[i] = true
+				covered = true
+			}
+		}
+		if !covered {
+			kept = append(kept, f)
+		}
+	}
+	for i, d := range dirs {
+		if !used[i] {
+			unused = append(unused, d)
+		}
+	}
+	return kept, unused
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+func sortedKeys(m map[string]bool) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// inspectFiles runs fn over every node of every file in the pass's
+// package; the usual entry point for analyzers.
+func inspectFiles(p *Pass, fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

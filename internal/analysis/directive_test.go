@@ -1,0 +1,74 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// runSuppress runs the full rule suite over one suppression fixture.
+// The full suite matters: directive validation needs the complete set
+// of known rule names.
+func runSuppress(t *testing.T, rel string) []analysis.Finding {
+	t.Helper()
+	l := loader(t)
+	p := fixture(t, l, "suppress/"+rel)
+	return analysis.Run(l, []*analysis.Package{p}, analysis.Analyzers(), analysis.Options{IgnoreScope: true})
+}
+
+// TestSuppressionClean: a justified directive on the flagged line or
+// the line directly above suppresses exactly that finding.
+func TestSuppressionClean(t *testing.T) {
+	if got := runSuppress(t, "clean"); len(got) > 0 {
+		t.Errorf("justified directives should suppress everything, got: %v", got)
+	}
+}
+
+// The malformed-directive cases must all fail closed: the directive
+// problem is reported AND the original finding survives.
+func TestSuppressionFailsClosed(t *testing.T) {
+	for _, tc := range []struct {
+		fixture string
+		wantMsg string // substring of the directive finding
+	}{
+		{"missingwhy", "missing its justification"},
+		{"unknownrule", `unknown rule "nondet"`},
+		{"wrongline", "matches no finding"},
+	} {
+		t.Run(tc.fixture, func(t *testing.T) {
+			got := runSuppress(t, tc.fixture)
+			var directive, original bool
+			for _, f := range got {
+				switch f.Rule {
+				case analysis.DirectiveRule:
+					if !strings.Contains(f.Message, tc.wantMsg) {
+						t.Errorf("directive finding %q does not explain the problem (want substring %q)", f.Message, tc.wantMsg)
+					}
+					directive = true
+				case "nondeterminism":
+					original = true
+				default:
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			if !directive {
+				t.Errorf("broken directive was not reported; findings: %v", got)
+			}
+			if !original {
+				t.Errorf("original finding was silently suppressed by a broken directive; findings: %v", got)
+			}
+		})
+	}
+}
+
+// TestDirectiveCannotSuppressItself: directive problems report under a
+// pseudo-rule that is not a real analyzer, so they can never be
+// suppressed in turn.
+func TestDirectiveCannotSuppressItself(t *testing.T) {
+	for _, a := range analysis.Analyzers() {
+		if a.Name == analysis.DirectiveRule {
+			t.Fatalf("%q must not be a real analyzer name", analysis.DirectiveRule)
+		}
+	}
+}

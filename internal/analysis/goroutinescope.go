@@ -1,0 +1,27 @@
+package analysis
+
+import "go/ast"
+
+// GoroutineScopeAnalyzer keeps concurrency behind the deterministic
+// executor: `go` statements may appear only in internal/exec (the
+// worker pool whose index-slotted results make parallelism
+// order-invariant) and internal/obs (the telemetry layer). A goroutine
+// anywhere else bypasses the pool's determinism guarantee and its
+// observation hooks.
+func GoroutineScopeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroutinescope",
+		Doc:  "go statements only in internal/exec and internal/obs: concurrency stays behind the deterministic pool",
+		Appl: func(rel string) bool { return rel != "internal/exec" && rel != "internal/obs" },
+		Run:  runGoroutineScope,
+	}
+}
+
+func runGoroutineScope(p *Pass) {
+	inspectFiles(p, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			p.Reportf(g.Pos(), "go statement outside internal/exec and internal/obs; run grid work through exec.Map so parallelism stays deterministic")
+		}
+		return true
+	})
+}

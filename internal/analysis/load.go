@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module (or an
+// explicitly loaded fixture directory under testdata).
+type Package struct {
+	// Path is the full import path, e.g. "repro/internal/core".
+	Path string
+	// Rel is the module-root-relative directory with forward slashes,
+	// e.g. "internal/core"; "" for the module root package. Analyzer
+	// scopes match on Rel so they stay independent of the module path.
+	Rel string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Files holds the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks the module's packages using only the
+// standard library: go/parser for syntax, go/types for checking, and
+// go/importer for dependencies outside the module. Module-internal
+// imports are resolved by mapping import paths onto directories under
+// the module root, so no export data or build step is required for the
+// code under analysis.
+type Loader struct {
+	Root       string // directory containing go.mod
+	ModulePath string // module path declared in go.mod
+
+	fset    *token.FileSet
+	pkgs    map[string]*Package // by import path, fully type-checked
+	loading map[string]bool     // import-cycle guard
+	std     types.Importer      // compiled export data (fast path)
+	stdSrc  types.Importer      // from-source fallback
+}
+
+// NewLoader finds the enclosing module of dir (walking up to go.mod)
+// and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:       root,
+		ModulePath: modPath,
+		fset:       fset,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+		std:        importer.Default(),
+		stdSrc:     importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// Fset returns the loader's file set; every loaded file's positions
+// resolve through it.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// findModule walks up from dir until it sees a go.mod, and parses the
+// module path out of it.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		raw, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(raw), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// LoadModule loads every package of the module: each directory under
+// the root that contains non-test .go files, skipping testdata, hidden
+// and underscore-prefixed directories. Results are sorted by import
+// path.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		p, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test, non-ignored .go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// LoadDir loads and type-checks the single package in dir, which must
+// be under the module root. Unlike LoadModule it accepts directories
+// below testdata, so tests can load analyzer fixtures through the same
+// pipeline as real code.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.Root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("%s is outside module root %s", dir, l.Root)
+	}
+	path := l.ModulePath
+	if rel != "." {
+		path = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(path)
+}
+
+// load resolves an import path within the module to its directory and
+// type-checks it, memoized per path.
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go source files in %s", dir)
+	}
+	sort.Strings(names)
+
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s:\n\t%s", path, strings.Join(typeErrs, "\n\t"))
+	}
+
+	p := &Package{
+		Path:  path,
+		Rel:   relPath(rel),
+		Dir:   dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func relPath(rel string) string {
+	if rel == "." {
+		return ""
+	}
+	return filepath.ToSlash(rel)
+}
+
+// Import implements types.Importer: module-internal paths load from
+// source through the loader itself; everything else (the standard
+// library) goes through compiled export data, falling back to
+// type-checking the dependency from source when no export data is
+// installed.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if pkg, err := l.std.Import(path); err == nil {
+		return pkg, nil
+	}
+	return l.stdSrc.Import(path)
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIterAnalyzer flags `range` over a map in the simulation packages.
+// Go randomizes map iteration order, so any map walk on a result path
+// is a latent run-to-run diff; simulation code must iterate an
+// explicitly ordered key list (for trace.Group maps, trace.Groups())
+// instead.
+func MapIterAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "mapiter",
+		Doc:  "no range over a map in simulation packages: iteration order must be explicit",
+		Appl: inSim,
+		Run:  runMapIter,
+	}
+}
+
+func runMapIter(p *Pass) {
+	inspectFiles(p, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Pkg.Info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			p.Reportf(rs.Pos(), "range over map %s iterates in randomized order; walk an explicitly ordered key list instead", types.TypeString(tv.Type, nil))
+		}
+		return true
+	})
+}

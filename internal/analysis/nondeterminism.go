@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// nondetFuncs are the stdlib entry points through which wall-clock or
+// environment state could leak into simulation results. Keys are
+// go/types full names.
+var nondetFuncs = map[string]string{
+	"time.Now":     "reads the wall clock",
+	"time.Since":   "reads the wall clock",
+	"os.Getenv":    "reads the process environment",
+	"os.LookupEnv": "reads the process environment",
+}
+
+// NondeterminismAnalyzer flags wall-clock, environment and math/rand
+// use in the simulation packages (plus internal/exec and internal/obs,
+// whose intentional timing sites carry //reprolint:allow directives).
+// Simulation randomness must come from the seeded trace.RNG so results
+// are a pure function of flags.
+func NondeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "nondeterminism",
+		Doc:  "no time.Now/time.Since/os.Getenv/math/rand in simulation packages: results must be a pure function of configuration",
+		Appl: inSimOrRuntime,
+		Run:  runNondeterminism,
+	}
+}
+
+func runNondeterminism(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %s: simulation randomness must come from the seeded trace.RNG", path)
+			}
+		}
+	}
+	inspectFiles(p, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		full := fn.FullName()
+		if why, bad := nondetFuncs[full]; bad {
+			p.Reportf(sel.Pos(), "%s %s; simulation output must not depend on when or where it runs", full, why)
+		} else if pkg := fn.Pkg(); pkg != nil && strings.HasPrefix(pkg.Path(), "math/rand") {
+			p.Reportf(sel.Pos(), "%s uses math/rand; simulation randomness must come from the seeded trace.RNG", full)
+		}
+		return true
+	})
+}

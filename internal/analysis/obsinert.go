@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// recorderWrites are the observation-only obs.Recorder methods the PR 2
+// hook contract lets simulation code call: they feed telemetry in,
+// return nothing a caller could branch on, and are no-ops on a nil
+// receiver. Everything else on the Recorder reads recorded state back
+// out, which only the telemetry layer itself may do.
+var recorderWrites = map[string]bool{
+	"Add":       true,
+	"Study":     true,
+	"TaskStart": true,
+	"TaskDone":  true,
+}
+
+// ObsInertAnalyzer enforces telemetry inertness: simulation packages
+// may only write to an obs.Recorder. Reading counters or spans back
+// (Recorder.Snapshot and any future accessor) from simulation code
+// could steer control flow by what was observed, breaking the
+// byte-for-byte telemetry-invariance guarantee.
+func ObsInertAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "obsinert",
+		Doc:  "simulation packages may only write to obs.Recorder: reading telemetry back could steer simulation control flow",
+		Appl: inSim,
+		Run:  runObsInert,
+	}
+}
+
+func runObsInert(p *Pass) {
+	inspectFiles(p, func(n ast.Node) bool {
+		x, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := p.Pkg.Info.Selections[x]
+		if !ok || sel.Kind() != types.MethodVal {
+			return true
+		}
+		if !p.isModType(sel.Recv(), "internal/obs", "Recorder") {
+			return true
+		}
+		if !recorderWrites[x.Sel.Name] {
+			p.Reportf(x.Pos(), "(*obs.Recorder).%s reads recorded telemetry in a simulation package; simulation code may only write (allowed: %s)", x.Sel.Name, strings.Join(sortedNames(recorderWrites), ", "))
+		}
+		return true
+	})
+}
+
+func sortedNames(m map[string]bool) []string {
+	ns := make([]string, 0, len(m))
+	for n := range m {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import "strings"
+
+// simPackages are the simulation packages: everything whose output
+// feeds study results and therefore must be deterministic and
+// telemetry-inert. The executor (internal/exec) and telemetry
+// (internal/obs) layers are deliberately outside this set — they own
+// the allowlisted clock reads and goroutines.
+var simPackages = map[string]bool{
+	"internal/branch":      true,
+	"internal/cacti":       true,
+	"internal/circuit":     true,
+	"internal/config":      true,
+	"internal/core":        true,
+	"internal/experiments": true,
+	"internal/fo4":         true,
+	"internal/isa":         true,
+	"internal/latch":       true,
+	"internal/mem":         true,
+	"internal/metrics":     true,
+	"internal/pipeline":    true,
+	"internal/trace":       true,
+	"internal/wire":        true,
+}
+
+// IsSimPackage reports whether the module-root-relative directory rel
+// is one of the simulation packages the determinism rules protect.
+func IsSimPackage(rel string) bool { return simPackages[rel] }
+
+func inSim(rel string) bool { return simPackages[rel] }
+
+// inSimOrRuntime adds the executor and telemetry layers, whose clock
+// reads are real but allowlisted in place with directives.
+func inSimOrRuntime(rel string) bool {
+	return simPackages[rel] || rel == "internal/exec" || rel == "internal/obs"
+}
+
+// Analyzers returns the full rule suite, freshly allocated so callers
+// may filter it.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NondeterminismAnalyzer(),
+		MapIterAnalyzer(),
+		TraceImmutableAnalyzer(),
+		ObsInertAnalyzer(),
+		GoroutineScopeAnalyzer(),
+	}
+}
+
+// ByName returns the analyzers whose names are listed, in listing
+// order, or an error string naming the first unknown rule.
+func ByName(names []string) ([]*Analyzer, string) {
+	all := Analyzers()
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	out := make([]*Analyzer, 0, len(names))
+	for _, n := range names {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, n
+		}
+		out = append(out, a)
+	}
+	return out, ""
+}

@@ -1,0 +1,8 @@
+// Package bad spawns a goroutine outside the deterministic executor.
+package bad
+
+// Race runs work on an unmanaged goroutine.
+func Race(ch chan int) int {
+	go func() { ch <- 1 }() // want goroutinescope
+	return <-ch
+}

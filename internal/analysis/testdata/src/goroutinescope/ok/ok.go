@@ -1,0 +1,9 @@
+// Package ok stays on the caller's goroutine: plain and deferred calls
+// are not `go` statements.
+package ok
+
+// Call runs fn twice, inline.
+func Call(fn func()) {
+	defer fn()
+	fn()
+}

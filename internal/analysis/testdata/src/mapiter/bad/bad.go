@@ -1,0 +1,20 @@
+// Package bad iterates maps directly, in Go's randomized order.
+package bad
+
+// Sum accumulates in whatever order the runtime hands out.
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want mapiter
+		s += v
+	}
+	return s
+}
+
+// Keys collects map keys; even a keys-only walk is order-randomized.
+func Keys(m map[int]struct{}) []int {
+	var ks []int
+	for k := range m { // want mapiter
+		ks = append(ks, k)
+	}
+	return ks
+}

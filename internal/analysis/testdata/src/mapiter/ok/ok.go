@@ -1,0 +1,13 @@
+// Package ok walks maps through an explicitly ordered key list, the
+// pattern the mapiter rule demands (trace.Groups() in the real tree).
+package ok
+
+// Sum accumulates in the caller's key order; absent keys contribute
+// zero, so the result is a pure function of the arguments.
+func Sum(keys []string, m map[string]float64) float64 {
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}

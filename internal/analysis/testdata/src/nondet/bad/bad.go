@@ -1,0 +1,17 @@
+// Package bad exercises every trigger of the nondeterminism rule.
+package bad
+
+import (
+	"math/rand" // want nondeterminism
+	"os"
+	"time"
+)
+
+// Stamp leaks wall-clock, environment and global-RNG state into its
+// result — everything a simulation package must never do.
+func Stamp() (time.Duration, string, int) {
+	start := time.Now()        // want nondeterminism
+	d := time.Since(start)     // want nondeterminism
+	home := os.Getenv("HOME")  // want nondeterminism
+	return d, home, rand.Int() // want nondeterminism
+}

@@ -1,0 +1,14 @@
+// Package bad branches on recorded telemetry — the feedback loop the
+// inertness contract forbids in simulation code.
+package bad
+
+import "repro/internal/obs"
+
+// Steer changes its result by what the recorder has observed.
+func Steer(r *obs.Recorder) int {
+	snap := r.Snapshot() // want obsinert
+	if snap.Counters["simulations"] > 100 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,13 @@
+// Package clean shows both legitimate directive placements: trailing
+// on the flagged line, and alone on the line directly above it. Both
+// carry the required justification, so the package lints clean.
+package clean
+
+import "time"
+
+// Stamp reads the clock twice, both sites justified in place.
+func Stamp() time.Duration {
+	start := time.Now() //reprolint:allow nondeterminism: fixture exercising the trailing placement
+	//reprolint:allow nondeterminism: fixture exercising the line-above placement
+	return time.Since(start)
+}

@@ -1,0 +1,10 @@
+// Package missingwhy suppresses without a justification; the directive
+// must fail closed and the original finding must survive.
+package missingwhy
+
+import "time"
+
+// Stamp hides its clock read behind a why-less directive.
+func Stamp() time.Time {
+	return time.Now() //reprolint:allow nondeterminism
+}

@@ -1,0 +1,10 @@
+// Package unknownrule typos the rule name; the directive must fail
+// closed and the original finding must survive.
+package unknownrule
+
+import "time"
+
+// Stamp misnames the rule it wants to suppress.
+func Stamp() time.Time {
+	return time.Now() //reprolint:allow nondet: the rule name has a typo
+}

@@ -1,0 +1,13 @@
+// Package wrongline places a well-formed directive too far from the
+// violation; it must be reported as matching nothing and the original
+// finding must survive.
+package wrongline
+
+import "time"
+
+// Stamp is documented here, breaking directive adjacency.
+//
+//reprolint:allow nondeterminism: fixture directive stranded two lines above the violation
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+// Package bad writes a shared trace.Trace every way the rule catches.
+package bad
+
+import "repro/internal/trace"
+
+// Mutate violates the immutability contract five distinct ways.
+func Mutate(t *trace.Trace, more []trace.Inst) {
+	t.Name = "mutant"                  // want traceimmutable
+	t.Insts[0].Taken = true            // want traceimmutable
+	t.Insts = append(t.Insts, more...) // want traceimmutable
+	t.HotBytes++                       // want traceimmutable
+	copy(t.Insts, more)                // want traceimmutable
+}

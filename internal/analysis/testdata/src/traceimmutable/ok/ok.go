@@ -1,0 +1,16 @@
+// Package ok treats shared traces as read-only: reads, clones and
+// construction of fresh Trace values are all fine.
+package ok
+
+import "repro/internal/trace"
+
+// Variant derives a new trace the sanctioned way — cloning — and reads
+// whatever it likes from the original.
+func Variant(t *trace.Trace) (*trace.Trace, int) {
+	c := t.WithPrefetchCoverage(0.5)
+	fresh := &trace.Trace{Name: t.Name, Group: t.Group}
+	if len(fresh.Insts) == 0 {
+		return c, len(t.Insts)
+	}
+	return fresh, len(t.Insts)
+}

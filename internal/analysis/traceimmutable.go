@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TraceImmutableAnalyzer enforces the PR 1 immutability contract: a
+// trace.Trace is frozen once Generate returns, because the sweep engine
+// shares one instance across concurrent pipeline runs and caches traces
+// process-wide. Outside internal/trace, no code may assign to, append
+// into, increment, or copy into a Trace field — variants must clone
+// (trace.Trace.WithPrefetchCoverage is the model).
+func TraceImmutableAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "traceimmutable",
+		Doc:  "no writes to trace.Trace fields outside internal/trace: shared traces are immutable by contract",
+		Appl: func(rel string) bool { return rel != "internal/trace" },
+		Run:  runTraceImmutable,
+	}
+}
+
+func runTraceImmutable(p *Pass) {
+	report := func(sel *ast.SelectorExpr, how string) {
+		p.Reportf(sel.Pos(), "%s trace.Trace field %s outside internal/trace; traces are shared and immutable — clone the trace instead (see Trace.WithPrefetchCoverage)", how, sel.Sel.Name)
+	}
+	inspectFiles(p, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if sel := traceFieldRoot(p, lhs); sel != nil {
+					report(sel, "assignment to")
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel := traceFieldRoot(p, st.X); sel != nil {
+				report(sel, "increment of")
+			}
+		case *ast.CallExpr:
+			if id, ok := st.Fun.(*ast.Ident); ok && len(st.Args) > 0 {
+				if b, ok := p.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "copy" {
+					if sel := traceFieldRoot(p, st.Args[0]); sel != nil {
+						report(sel, "copy into")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// traceFieldRoot peels index, slice, deref and paren wrappers off an
+// lvalue and returns the innermost selector that reads a field of
+// trace.Trace, if the lvalue writes through one.
+func traceFieldRoot(p *Pass, e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := p.Pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal && p.isModType(sel.Recv(), "internal/trace", "Trace") {
+				return x
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isModType reports whether t (possibly behind a pointer) is the named
+// type relDir.name of this module.
+func (p *Pass) isModType(t types.Type, relDir, name string) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == p.Mod+"/"+relDir && obj.Name() == name
+}

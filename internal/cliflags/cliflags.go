@@ -29,12 +29,20 @@ type Sim struct {
 // call it before flag.Parse. defaultN sets the -n default, which differs
 // between the full evaluation binaries and the characterization tools.
 func Register(defaultN int) *Sim {
+	return RegisterOn(flag.CommandLine, defaultN)
+}
+
+// RegisterOn declares the shared simulation flags on an explicit flag
+// set. The binaries go through Register; tests and the fuzz harness use
+// a private flag set so repeated parses never collide on the global
+// one.
+func RegisterOn(fs *flag.FlagSet, defaultN int) *Sim {
 	return &Sim{
-		N:       flag.Int("n", defaultN, "instructions per benchmark"),
-		Seed:    flag.Uint64("seed", 1, "trace generation seed"),
-		Workers: flag.Int("workers", 0, "simulation worker pool size (0 = all CPUs, 1 = serial)"),
-		Bench:   flag.String("bench", "", "only run benchmarks whose names contain this substring"),
-		JSON:    flag.Bool("json", false, "emit machine-readable JSON instead of text"),
+		N:       fs.Int("n", defaultN, "instructions per benchmark"),
+		Seed:    fs.Uint64("seed", 1, "trace generation seed"),
+		Workers: fs.Int("workers", 0, "simulation worker pool size (0 = all CPUs, 1 = serial)"),
+		Bench:   fs.String("bench", "", "only run benchmarks whose names contain this substring"),
+		JSON:    fs.Bool("json", false, "emit machine-readable JSON instead of text"),
 	}
 }
 

@@ -154,8 +154,10 @@ func runPoints(cfg SweepConfig, specs []pointSpec, traces []*trace.Trace) []Swee
 			groups[tr.Group] = append(groups[tr.Group], b)
 			all = append(all, b)
 		}
-		for g, xs := range groups {
-			pt.GroupBIPS[g] = metrics.HarmonicMean(xs)
+		for _, g := range trace.Groups() {
+			if xs, ok := groups[g]; ok {
+				pt.GroupBIPS[g] = metrics.HarmonicMean(xs)
+			}
 		}
 		pt.AllBIPS = metrics.HarmonicMean(all)
 		points[si] = pt
@@ -207,8 +209,10 @@ func runIPCVariants(cfg SweepConfig, traces []*trace.Trace, base pipeline.Params
 			groups[tr.Group] = append(groups[tr.Group], s.IPC)
 			all = append(all, s.IPC)
 		}
-		for g, xs := range groups {
-			pt.groups[g] = metrics.HarmonicMean(xs)
+		for _, g := range trace.Groups() {
+			if xs, ok := groups[g]; ok {
+				pt.groups[g] = metrics.HarmonicMean(xs)
+			}
 		}
 		pt.all = metrics.HarmonicMean(all)
 		out[mi] = pt

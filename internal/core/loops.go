@@ -86,8 +86,10 @@ func CriticalLoopSensitivity(cfg SweepConfig, maxExtra int) []LoopSweep {
 			v := pts[next]
 			next++
 			pt := LoopPoint{Extra: extra, RelativeIPC: map[trace.Group]float64{}}
-			for grp, x := range v.groups {
-				pt.RelativeIPC[grp] = x / baseline.groups[grp]
+			for _, grp := range trace.Groups() {
+				if x, ok := v.groups[grp]; ok {
+					pt.RelativeIPC[grp] = x / baseline.groups[grp]
+				}
 			}
 			pt.RelativeAll = v.all / baseline.all
 			sw.Points = append(sw.Points, pt)

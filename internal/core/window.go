@@ -42,8 +42,10 @@ func SegmentedWindowSweep(cfg SweepConfig, maxStages int, naive bool) []WindowPo
 	points := make([]WindowPoint, maxStages)
 	for i, v := range pts {
 		pt := WindowPoint{Stages: i + 1, RelativeIPC: map[trace.Group]float64{}}
-		for grp, x := range v.groups {
-			pt.RelativeIPC[grp] = x / baseline.groups[grp]
+		for _, grp := range trace.Groups() {
+			if x, ok := v.groups[grp]; ok {
+				pt.RelativeIPC[grp] = x / baseline.groups[grp]
+			}
 		}
 		pt.RelativeAll = v.all / baseline.all
 		points[i] = pt
@@ -80,8 +82,10 @@ func SegmentedSelect(cfg SweepConfig) SelectResult {
 	conv, seg := pts[0], pts[1]
 
 	res := SelectResult{RelativeIPC: map[trace.Group]float64{}}
-	for g, v := range seg.groups {
-		res.RelativeIPC[g] = v / conv.groups[g]
+	for _, g := range trace.Groups() {
+		if v, ok := seg.groups[g]; ok {
+			res.RelativeIPC[g] = v / conv.groups[g]
+		}
 	}
 	res.RelativeAll = seg.all / conv.all
 	return res

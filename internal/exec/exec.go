@@ -85,14 +85,15 @@ func Map[T, R any](p Pool, items []T, fn func(int, T) R) ([]R, error) {
 	// fn itself modulo the worker id, so the hot path stays time.Now-free.
 	call := func(w, i int, it T) R { return fn(i, it) }
 	if p.OnTaskStart != nil || p.OnTaskDone != nil {
-		submitted := time.Now()
+		submitted := time.Now() //reprolint:allow nondeterminism: queue-wait timing feeds the observation hooks only, never task results
 		call = func(w, i int, it T) R {
-			start := time.Now()
+			start := time.Now() //reprolint:allow nondeterminism: task timing feeds the observation hooks only, never task results
 			if p.OnTaskStart != nil {
 				p.OnTaskStart(w, i, start.Sub(submitted))
 			}
 			r := fn(i, it)
 			if p.OnTaskDone != nil {
+				//reprolint:allow nondeterminism: task timing feeds the observation hooks only, never task results
 				p.OnTaskDone(w, i, time.Since(start))
 			}
 			return r

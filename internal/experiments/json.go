@@ -138,8 +138,10 @@ func (s SelectResult) JSON() ([]byte, error) {
 		RelativeIPC: map[string]float64{},
 		RelativeAll: s.Res.RelativeAll,
 	}
-	for g, v := range s.Res.RelativeIPC {
-		out.RelativeIPC[g.String()] = v
+	for _, g := range trace.Groups() {
+		if v, ok := s.Res.RelativeIPC[g]; ok {
+			out.RelativeIPC[g.String()] = v
+		}
 	}
 	return json.MarshalIndent(out, "", "  ")
 }

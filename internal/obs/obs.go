@@ -71,7 +71,7 @@ func (r *Recorder) Study(name string) func() {
 	if r == nil {
 		return func() {}
 	}
-	s := &study{name: name, start: time.Now()}
+	s := &study{name: name, start: time.Now()} //reprolint:allow nondeterminism: span wall time is telemetry output, observation-only by contract
 	r.mu.Lock()
 	r.studies = append(r.studies, s)
 	r.open = append(r.open, s)
@@ -85,7 +85,7 @@ func (r *Recorder) Study(name string) func() {
 			r.mu.Unlock()
 			return
 		}
-		s.wall = time.Since(s.start)
+		s.wall = time.Since(s.start) //reprolint:allow nondeterminism: span wall time is telemetry output, observation-only by contract
 		s.done = true
 		for i := len(r.open) - 1; i >= 0; i-- {
 			if r.open[i] == s {
@@ -194,7 +194,7 @@ func (r *Recorder) Snapshot() Snapshot {
 	for _, s := range r.studies {
 		wall := s.wall
 		if !s.done {
-			wall = time.Since(s.start)
+			wall = time.Since(s.start) //reprolint:allow nondeterminism: open-span elapsed time is telemetry output, observation-only by contract
 		}
 		snap.Studies = append(snap.Studies, StudyStats{
 			Name:   s.name,

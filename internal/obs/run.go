@@ -73,7 +73,7 @@ func Start(o StartOptions) (*Run, error) {
 		Log:     log,
 		rec:     New(log),
 		opts:    o,
-		start:   time.Now(),
+		start:   time.Now(), //reprolint:allow nondeterminism: run wall time goes to the manifest only, never into study output
 		config:  map[string]any{},
 	}
 	if o.CPUProfile != "" {
@@ -147,7 +147,7 @@ func (r *Run) stopProfiles() error {
 // and logs the run summary. Call it once, after the study output has been
 // emitted, so profiles and wall time cover the whole run.
 func (r *Run) Close() error {
-	wall := time.Since(r.start)
+	wall := time.Since(r.start) //reprolint:allow nondeterminism: run wall time goes to the manifest and log only, never into study output
 	first := r.stopProfiles()
 	if r.opts.MemProfile != "" {
 		if err := writeHeapProfile(r.opts.MemProfile); err != nil && first == nil {

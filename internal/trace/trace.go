@@ -45,6 +45,12 @@ func (g Group) String() string {
 	}
 }
 
+// Groups lists the benchmark groups in canonical report order.
+// Simulation code iterates this slice instead of ranging over a
+// map[Group]..., so aggregate ordering never depends on Go's
+// randomized map iteration (the mapiter lint rule enforces that).
+func Groups() []Group { return []Group{Integer, VectorFP, NonVectorFP} }
+
 // Inst is one dynamic instruction.
 type Inst struct {
 	Class isa.Class
