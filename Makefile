@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fuzz-smoke bench-smoke telemetry-smoke profile check
+.PHONY: build test race vet lint fuzz-smoke bench-smoke bench-compare telemetry-smoke profile check
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,17 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . -args -manifest bench-smoke-manifest.json
 	$(GO) run ./cmd/manifestcheck bench-smoke-manifest.json
+
+# Perf-regression check: rerun the root suite (one iteration, like
+# bench-smoke) and diff it against the recorded baseline. One-iteration
+# timings are noisy, so the default threshold is generous and CI treats
+# a failure as a soft signal; tighten BENCH_THRESHOLD for a real
+# measurement run (see EXPERIMENTS.md for the capture workflow).
+BENCH_THRESHOLD ?= 50
+
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . > /tmp/bench_current.txt
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) BENCH_baseline.json /tmp/bench_current.txt
 
 # End-to-end telemetry check: run a small sweep with profiling and a
 # manifest, then assert the manifest parses and carries the required keys.

@@ -21,6 +21,7 @@ import (
 var benchOpts = experiments.Options{Instructions: 20000}
 
 func BenchmarkFigure1ClockHistory(b *testing.B) {
+	b.ReportAllocs()
 	var last float64
 	for i := 0; i < b.N; i++ {
 		f := experiments.RunFigure1()
@@ -30,6 +31,7 @@ func BenchmarkFigure1ClockHistory(b *testing.B) {
 }
 
 func BenchmarkTable1LatchOverhead(b *testing.B) {
+	b.ReportAllocs()
 	var ovh float64
 	for i := 0; i < b.N; i++ {
 		t := experiments.RunTable1(4.0)
@@ -39,6 +41,7 @@ func BenchmarkTable1LatchOverhead(b *testing.B) {
 }
 
 func BenchmarkTable3AccessLatencies(b *testing.B) {
+	b.ReportAllocs()
 	var dl1 int
 	for i := 0; i < b.N; i++ {
 		t := experiments.RunTable3()
@@ -48,6 +51,7 @@ func BenchmarkTable3AccessLatencies(b *testing.B) {
 }
 
 func BenchmarkFigure4aInOrderNoOverhead(b *testing.B) {
+	b.ReportAllocs()
 	var imp float64
 	for i := 0; i < b.N; i++ {
 		s := experiments.RunFigure4a(benchOpts).Sweep
@@ -58,6 +62,7 @@ func BenchmarkFigure4aInOrderNoOverhead(b *testing.B) {
 }
 
 func BenchmarkFigure4bInOrderWithOverhead(b *testing.B) {
+	b.ReportAllocs()
 	var opt float64
 	for i := 0; i < b.N; i++ {
 		opt = experiments.RunFigure4b(benchOpts).Sweep.NearOptimalUseful(trace.Integer, 0.02)
@@ -66,6 +71,7 @@ func BenchmarkFigure4bInOrderWithOverhead(b *testing.B) {
 }
 
 func BenchmarkFigure5OutOfOrder(b *testing.B) {
+	b.ReportAllocs()
 	var opt float64
 	for i := 0; i < b.N; i++ {
 		opt = experiments.RunFigure5(benchOpts).Sweep.NearOptimalUseful(trace.Integer, 0.02)
@@ -74,6 +80,7 @@ func BenchmarkFigure5OutOfOrder(b *testing.B) {
 }
 
 func BenchmarkFigure6OverheadSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	var spread float64
 	for i := 0; i < b.N; i++ {
 		f := experiments.RunFigure6(benchOpts)
@@ -93,6 +100,7 @@ func BenchmarkFigure6OverheadSensitivity(b *testing.B) {
 }
 
 func BenchmarkFigure7StructureOptimization(b *testing.B) {
+	b.ReportAllocs()
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		f := experiments.RunFigure7(benchOpts)
@@ -106,6 +114,7 @@ func BenchmarkFigure7StructureOptimization(b *testing.B) {
 }
 
 func BenchmarkFigure8CriticalLoops(b *testing.B) {
+	b.ReportAllocs()
 	var wakeup float64
 	for i := 0; i < b.N; i++ {
 		f := experiments.RunFigure8(benchOpts)
@@ -115,6 +124,7 @@ func BenchmarkFigure8CriticalLoops(b *testing.B) {
 }
 
 func BenchmarkFigure11SegmentedWakeup(b *testing.B) {
+	b.ReportAllocs()
 	var loss float64
 	for i := 0; i < b.N; i++ {
 		f := experiments.RunFigure11(benchOpts)
@@ -124,6 +134,7 @@ func BenchmarkFigure11SegmentedWakeup(b *testing.B) {
 }
 
 func BenchmarkSegmentedSelect(b *testing.B) {
+	b.ReportAllocs()
 	var loss float64
 	for i := 0; i < b.N; i++ {
 		s := experiments.RunSegmentedSelect(benchOpts)
@@ -133,6 +144,7 @@ func BenchmarkSegmentedSelect(b *testing.B) {
 }
 
 func BenchmarkCray1SComparison(b *testing.B) {
+	b.ReportAllocs()
 	var opt float64
 	for i := 0; i < b.N; i++ {
 		opt = experiments.RunCray1S(benchOpts).Sweep.OptimalUseful(trace.Integer)
@@ -141,6 +153,7 @@ func BenchmarkCray1SComparison(b *testing.B) {
 }
 
 func BenchmarkHeadlineOptimalClock(b *testing.B) {
+	b.ReportAllocs()
 	var ghz float64
 	for i := 0; i < b.N; i++ {
 		ghz = experiments.RunHeadline(benchOpts).IntFreqGHz
@@ -149,6 +162,7 @@ func BenchmarkHeadlineOptimalClock(b *testing.B) {
 }
 
 func BenchmarkWireStudy(b *testing.B) {
+	b.ReportAllocs()
 	var cost float64
 	for i := 0; i < b.N; i++ {
 		w := experiments.RunWireStudy(benchOpts)
@@ -164,6 +178,7 @@ func BenchmarkWireStudy(b *testing.B) {
 // and reports their ratio. On a single-core host the ratio is ~1.0 by
 // construction; the engine's speedup shows from 2+ cores up.
 func BenchmarkParallelSweepSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	var speedup float64
 	for i := 0; i < b.N; i++ {
 		serial := benchOpts
@@ -182,6 +197,7 @@ func BenchmarkParallelSweepSpeedup(b *testing.B) {
 }
 
 func BenchmarkAblation(b *testing.B) {
+	b.ReportAllocs()
 	var memGain float64
 	for i := 0; i < b.N; i++ {
 		a := experiments.RunAblation(benchOpts)

@@ -36,6 +36,18 @@ type Tournament struct {
 // New returns a predictor with weakly-initialized tables.
 func New() *Tournament {
 	t := &Tournament{}
+	t.Reset()
+	return t
+}
+
+// Reset restores the boot state New returns — weakly-initialized tables,
+// cleared histories and statistics — so one allocation can be reused
+// across simulation runs (the pipeline scratch state relies on Reset
+// being indistinguishable from a fresh predictor).
+func (t *Tournament) Reset() {
+	for i := range t.localHist {
+		t.localHist[i] = 0
+	}
 	for i := range t.localPred {
 		t.localPred[i] = 3 // weakly not-taken in 3-bit space
 	}
@@ -45,7 +57,11 @@ func New() *Tournament {
 	for i := range t.choice {
 		t.choice[i] = 1 // weakly prefer local, as the 21264 boots
 	}
-	return t
+	t.ghist = 0
+	t.Lookups = 0
+	t.Mispredicts = 0
+	t.globalCorrect = 0
+	t.localCorrect = 0
 }
 
 func (t *Tournament) localIndex(pc uint32) int {

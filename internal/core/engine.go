@@ -42,16 +42,29 @@ type simTask struct {
 	tr     *trace.Trace
 }
 
-// runSims executes the tasks on the sweep's worker pool. Stats are
-// slotted by task index, so the output never depends on completion
-// order. On cancellation the unfinished slots hold zero Stats; callers
-// check cancelled() before aggregating (a zero IPC would poison the
-// harmonic means).
+// runSims executes the tasks on the sweep's worker pool, threading one
+// reusable pipeline.Scratch per worker so the steady state of a study
+// grid allocates nothing per simulation. Stats are slotted by task
+// index, so the output never depends on completion order. On
+// cancellation the unfinished slots hold zero Stats; callers check
+// cancelled() before aggregating (a zero IPC would poison the harmonic
+// means).
 func runSims(cfg SweepConfig, tasks []simTask) []pipeline.Stats {
 	cfg.Obs.Add("simulations", int64(len(tasks)))
-	stats, _ := exec.Map(cfg.pool(), tasks, func(_ int, t simTask) pipeline.Stats {
-		return pipeline.Run(t.params, t.tr)
-	})
+	stats, _ := exec.MapWithState(cfg.pool(), tasks, pipeline.NewScratch,
+		func(s *pipeline.Scratch, _ int, t simTask) pipeline.Stats {
+			return pipeline.RunWith(t.params, t.tr, s)
+		})
+	// Surface the event-driven wakeup economy in the run manifest: wakes
+	// actually delivered through the consumer index versus the window
+	// entries the per-issue broadcast scan it replaced would have touched.
+	var wakes, scanned uint64
+	for i := range stats {
+		wakes += stats[i].WakeupWakes
+		scanned += stats[i].WakeupScanned
+	}
+	cfg.Obs.Add("wakeup_wakes", int64(wakes))
+	cfg.Obs.Add("wakeup_scanned", int64(scanned))
 	return stats
 }
 

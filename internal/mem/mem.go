@@ -220,7 +220,11 @@ func (h *Hierarchy) Prewarm(hotBytes, warmBytes uint64) {
 	}
 }
 
-// Reset clears both levels.
+// Reset clears both levels and the prefetcher's accumulated state, so a
+// reset hierarchy is indistinguishable from a freshly built one of the
+// same geometry (the pipeline scratch state reuses hierarchies across
+// runs on that guarantee). Prefetch and Coverage are configuration, not
+// accumulated state, and are left as set.
 func (h *Hierarchy) Reset() {
 	if h.L1 != nil {
 		h.L1.Reset()
@@ -228,4 +232,6 @@ func (h *Hierarchy) Reset() {
 	if h.L2 != nil {
 		h.L2.Reset()
 	}
+	h.Prefetches = 0
+	h.pfAccum = 0
 }

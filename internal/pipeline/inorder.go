@@ -1,7 +1,6 @@
 package pipeline
 
 import (
-	"repro/internal/branch"
 	"repro/internal/isa"
 	"repro/internal/trace"
 )
@@ -13,7 +12,7 @@ import (
 // a timestamp recurrence: each instruction issues at the earliest cycle
 // that satisfies program order, issue bandwidth, operand readiness (with
 // full bypass), and fetch delivery — no issue window exists.
-func runInOrder(p Params, tr *trace.Trace) Stats {
+func runInOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 	m := p.Machine
 	tmg := p.Timing
 	insts := tr.Insts
@@ -22,8 +21,8 @@ func runInOrder(p Params, tr *trace.Trace) Stats {
 		panic("pipeline: empty trace")
 	}
 
-	pred := branch.New()
-	hier := newHierarchy(m)
+	pred := scr.predictor()
+	hier := scr.hierarchy(m)
 	hier.Coverage = tr.PrefetchCoverage
 	hier.Prewarm(tr.HotBytes, tr.WarmBytes)
 	stats := Stats{}
@@ -31,7 +30,16 @@ func runInOrder(p Params, tr *trace.Trace) Stats {
 	frontDepth := int64(maxInt(tmg.IL1, tmg.BPred) + 1) // fetch + decode
 	commitDepth := int64(tmg.RegRead + 1 + 1)           // regread + wb + commit
 
-	dataAt := make([]int64, n) // result availability for consumers
+	// Result availability for consumers. Zeroed (not pending) to match
+	// the recurrence's contract: slot i is written at step i, and sources
+	// always point backwards, so a zero is only ever read for a
+	// malformed forward dependence — where it deterministically means
+	// "ready", exactly as a freshly allocated array would.
+	scr.arenas(n)
+	dataAt := scr.dataAt
+	for i := range dataAt {
+		dataAt[i] = 0
+	}
 
 	var (
 		fetchCycle   int64 // cycle the current fetch group started

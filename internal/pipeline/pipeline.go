@@ -23,13 +23,21 @@
 // cycle, and the partitioned selection scheme (Figure 12) limits how many
 // instructions the upper stages may pre-select, one cycle ahead of the
 // final selection.
+//
+// The simulated machine broadcasts a completing tag to every window entry
+// each issue; the simulator itself does not. It walks the trace's consumer
+// index (see trace.ConsumerIndexOf) and wakes exactly the issuing
+// instruction's resident consumers, at the same segment-resolved cycle the
+// broadcast would have delivered — event-driven simulation of a
+// broadcast-structured machine, with Stats counters (WakeupWakes vs.
+// WakeupScanned) recording the work avoided. All steady-state bookkeeping
+// lives in a reusable Scratch, so a run allocates nothing per cycle.
 package pipeline
 
 import (
 	"fmt"
 	"math"
 
-	"repro/internal/branch"
 	"repro/internal/config"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -89,6 +97,16 @@ type Stats struct {
 	SumWindowOcc       uint64 // window occupancy summed per cycle
 	SumIssued          uint64 // instructions issued summed per cycle
 	FetchBlockedCycles uint64 // cycles fetch was stalled on a mispredict
+
+	// Wakeup accounting (out-of-order core only): WakeupWakes counts
+	// operand wakeups actually delivered through the consumer index;
+	// WakeupScanned counts the window entries a per-issue broadcast scan
+	// would have examined for the same schedule. Their ratio is the
+	// algorithmic saving of event-driven wakeup — the simulated machine
+	// still pays for the full broadcast (that is the paper's subject),
+	// the simulator no longer does.
+	WakeupWakes   uint64
+	WakeupScanned uint64
 }
 
 // AvgWindowOcc returns the mean issue-window occupancy per cycle.
@@ -102,28 +120,51 @@ func (s Stats) AvgWindowOcc() float64 {
 // Run simulates tr on the configured machine and returns its statistics.
 //
 // Run is safe for concurrent use: all simulation state (predictor tables,
-// cache hierarchy, window occupancy) is allocated per call, the trace is
-// only read (immutable by contract, see internal/trace), and Params is
-// passed by value. The sweep engine relies on this to run many simulations
-// of the same trace in parallel; internal/core's race tests pin it.
+// cache hierarchy, window occupancy) lives in a Scratch borrowed from a
+// package pool for the duration of the call, the trace is only read
+// (immutable by contract, see internal/trace), and Params is passed by
+// value. The sweep engine relies on this to run many simulations of the
+// same trace in parallel; internal/core's race tests pin it. Callers with
+// their own run loop can hold a Scratch and use RunWith to skip the pool.
 func Run(p Params, tr *trace.Trace) Stats {
-	if p.Machine.InOrder {
-		return runInOrder(p, tr)
+	s := scratchPool.Get().(*Scratch)
+	stats := RunWith(p, tr, s)
+	scratchPool.Put(s)
+	return stats
+}
+
+// RunWith simulates like Run but on caller-owned scratch state, reusing
+// its allocations. Results are identical to Run's for any scratch
+// history — every run re-initializes the state it reads — but a Scratch
+// must not be shared by concurrent calls. A nil scratch is allowed and
+// simulates on fresh state.
+func RunWith(p Params, tr *trace.Trace, s *Scratch) Stats {
+	if s == nil {
+		s = NewScratch()
 	}
-	return runOutOfOrder(p, tr)
+	if p.Machine.InOrder {
+		return runInOrder(p, tr, s)
+	}
+	return runOutOfOrder(p, tr, s)
 }
 
 const pending = math.MaxInt64
 
-// winEntry is one issue-window slot.
+// winEntry is one issue-window slot. Readiness is kept as a single
+// timestamp so the selection scan is one comparison per entry: ready is
+// the cycle both operands are visible, or pending while any operand
+// still awaits its producer's wakeup; acc accumulates the max wake time
+// of the operands scheduled so far and becomes ready when the last
+// producer delivers.
 type winEntry struct {
-	idx          int32 // trace index
-	wake1, wake2 int64 // cycle each operand becomes visible; pending if waiting on broadcast
-	src1, src2   int32 // producer indices still awaited (-1 once resolved)
-	preSelected  bool  // latched by a pre-selection block (Figure 12)
+	ready       int64 // cycle the entry is selectable; pending until fully scheduled
+	acc         int64 // max wake time over the operands scheduled so far
+	idx         int32 // trace index
+	src1, src2  int32 // producer indices still awaited (-1 once resolved)
+	preSelected bool  // latched by a pre-selection block (Figure 12)
 }
 
-func runOutOfOrder(p Params, tr *trace.Trace) Stats {
+func runOutOfOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 	m := p.Machine
 	tmg := p.Timing
 	insts := tr.Insts
@@ -140,37 +181,27 @@ func runOutOfOrder(p Params, tr *trace.Trace) Stats {
 	// by default, or one shared window when UnifiedWindow is set (the
 	// Section 5 experiments use a unified 32-entry window). Segmentation
 	// divides each queue into equal stages.
-	var queues []*issueQueue
-	if m.UnifiedWindow > 0 {
-		queues = []*issueQueue{newIssueQueue(m.UnifiedWindow, stages)}
-	} else {
-		if m.IntWindow <= 0 || m.FPWindow <= 0 {
-			panic("pipeline: machine needs issue-queue capacities")
-		}
-		queues = []*issueQueue{
-			newIssueQueue(m.IntWindow, stages),
-			newIssueQueue(m.FPWindow, stages),
-		}
-	}
-	queueFor := func(cl isa.Class) *issueQueue {
-		if len(queues) == 2 && cl.IsFP() {
-			return queues[1]
-		}
-		return queues[0]
-	}
+	queues := scr.queues(m, stages)
+	intQ := queues[0]
+	fpQ := queues[len(queues)-1] // same queue as intQ when unified
 
-	pred := branch.New()
-	hier := newHierarchy(m)
+	// The reverse dependence adjacency: who consumes each instruction's
+	// result. Built once per trace and cached process-wide, it lets issue
+	// wake a producer's actual consumers directly instead of re-scanning
+	// every window entry per issued instruction.
+	consumers := tr.ConsumerIndexOf()
+
+	pred := scr.predictor()
+	hier := scr.hierarchy(m)
 	hier.Coverage = tr.PrefetchCoverage
 	hier.Prewarm(tr.HotBytes, tr.WarmBytes)
 
-	// Per-instruction dynamic state.
-	dataAt := make([]int64, n)     // cycle a consumer may issue (post-bypass)
-	completeAt := make([]int64, n) // cycle the instruction has executed
-	for i := range dataAt {
-		dataAt[i] = pending
-		completeAt[i] = pending
-	}
+	// Per-instruction dynamic state, reset to pending/-1 for this run.
+	scr.arenas(n)
+	dataAt := scr.dataAt         // cycle a consumer may issue (post-bypass)
+	completeAt := scr.completeAt // cycle the instruction has executed
+	commitAt := scr.commitAt
+	queuePos := scr.queuePos // issue-queue position while resident
 
 	// Front-end depth in cycles: fetch (instruction cache / predictor),
 	// decode, rename, dispatch.
@@ -181,18 +212,24 @@ func runOutOfOrder(p Params, tr *trace.Trace) Stats {
 	}
 
 	// Frontend queue between fetch and dispatch.
-	type fq struct {
-		idx     int32
-		readyAt int64
-	}
-	frontQ := make([]fq, 0, 64)
+	frontQ := &scr.frontQ
+	frontQ.reset()
 	stats := Stats{}
+
+	selected := scr.selScratch(m.IntIssue + m.FPIssue)
+	// Partitioned selection latches entries one cycle ahead of issue, so
+	// its queues must be scanned every cycle; everywhere else the
+	// next-ready bound lets stall cycles skip the selection scan.
+	preSel := p.PreSelect != nil && stages > 1
+	var quota []int
+	if preSel {
+		quota = scr.quotaScratch(stages)
+	}
 
 	var (
 		cycle       int64
-		fetchIdx    int   // next trace index to fetch
-		head        int   // oldest in-flight (ROB head)
-		commitAt          = make([]int64, n)
+		fetchIdx    int        // next trace index to fetch
+		head        int        // oldest in-flight (ROB head)
 		fetchBlock  int32 = -1 // mispredicted branch blocking fetch
 		warmCycle   int64 = -1
 		warmIdx           = p.Warmup
@@ -201,9 +238,6 @@ func runOutOfOrder(p Params, tr *trace.Trace) Stats {
 	)
 	if warmIdx >= n {
 		warmIdx = 0
-	}
-	for i := range commitAt {
-		commitAt[i] = pending
 	}
 
 	// issueBudget per class cluster, reset each cycle.
@@ -223,73 +257,117 @@ func runOutOfOrder(p Params, tr *trace.Trace) Stats {
 		// ---- Selection and issue. Pre-selection latches (Figure 12) were
 		// set at the end of the previous cycle via preSelected flags.
 		intBudget, fpBudget := m.IntIssue, m.FPIssue
-		issuedAny := false
-		for _, q := range queues {
+		var issuedFrom [2]bool
+		for qi, q := range queues {
 			stats.SumWindowOcc += uint64(len(q.entries))
-			issued := issueSelect(p, insts, q, cycle, &intBudget, &fpBudget, stages, dataAt)
+			if !preSel && cycle < q.nextReady {
+				continue // provably nothing selectable this cycle
+			}
+			issued, nextReady := issueSelect(p, insts, q, cycle, &intBudget, &fpBudget, preSel, selected[:0])
+			q.nextReady = nextReady
 			stats.SumIssued += uint64(len(issued))
-			for _, w := range issued {
-				issuedAny = true
-				in := insts[w.idx]
+			for _, idx := range issued {
+				issuedFrom[qi] = true
+				in := insts[idx]
 				lat := execLatency(p, in, hier, &stats)
-				completeAt[w.idx] = cycle + lat
+				completeAt[idx] = cycle + lat
 				d := cycle + maxInt64(lat, wakeLoop)
-				dataAt[w.idx] = d
-				// Broadcast: wake dependents still waiting in any queue.
-				// With a segmented window the tag reaches segment s at
-				// d + s, so a consumer sitting in segment s when the
+				dataAt[idx] = d
+				// Tombstone the issued entry for this cycle's compaction.
+				// Its operands were already resolved (src fields are -1),
+				// so no same-cycle consumer walk can match it.
+				q.entries[queuePos[idx]].idx = -1
+				queuePos[idx] = -1
+				// Wakeup. The machine broadcasts the completing tag across
+				// every window entry; the simulator walks the consumer
+				// index and delivers to the dependents actually resident in
+				// a queue. With a segmented window the tag reaches segment
+				// s at d + s, so a consumer sitting in segment s when the
 				// producer issues sees its operand s cycles later (stage 1
 				// sees it immediately, preserving back-to-back issue for
-				// the oldest instructions).
+				// the oldest instructions). d always lands beyond the
+				// current cycle, so delivery order within a cycle cannot
+				// change this cycle's selection — exactly like the
+				// broadcast scan this replaces.
 				for _, dq := range queues {
-					for wi := range dq.entries {
-						e := &dq.entries[wi]
-						seg := int64(0)
-						if stages > 1 && !p.NaivePipelining {
-							seg = int64(wi / dq.segSize)
+					stats.WakeupScanned += uint64(len(dq.entries))
+				}
+				for _, c := range consumers.Consumers(idx) {
+					pos := queuePos[c]
+					if pos < 0 {
+						continue // not dispatched yet, or operand resolved at dispatch
+					}
+					dq := intQ
+					if insts[c].Class.IsFP() {
+						dq = fpQ
+					}
+					e := &dq.entries[pos]
+					seg := int64(0)
+					if stages > 1 && !p.NaivePipelining {
+						seg = int64(int(pos) / dq.segSize)
+					}
+					if e.src1 == idx {
+						if w := d + seg; w > e.acc {
+							e.acc = w
 						}
-						if e.src1 == w.idx {
-							e.wake1 = d + seg
-							e.src1 = -1
+						e.src1 = -1
+						stats.WakeupWakes++
+					}
+					if e.src2 == idx {
+						if w := d + seg; w > e.acc {
+							e.acc = w
 						}
-						if e.src2 == w.idx {
-							e.wake2 = d + seg
-							e.src2 = -1
+						e.src2 = -1
+						stats.WakeupWakes++
+					}
+					if e.src1 == -1 && e.src2 == -1 {
+						// Fully scheduled: the entry becomes selectable
+						// once both operands are visible; lower the
+						// queue's next-ready bound to match.
+						e.ready = e.acc
+						if e.acc < dq.nextReady {
+							dq.nextReady = e.acc
 						}
 					}
 				}
 			}
 		}
 		// Remove issued entries; each queue compacts oldest-first at the
-		// start of the next cycle (the paper's collapsing window).
-		if issuedAny {
-			for _, q := range queues {
-				keep := q.entries[:0]
-				for _, e := range q.entries {
-					if dataAt[e.idx] == pending {
-						keep = append(keep, e)
-					}
-				}
-				q.entries = keep
+		// start of the next cycle (the paper's collapsing window). Only a
+		// queue that issued has anything to remove.
+		for qi, q := range queues {
+			if !issuedFrom[qi] {
+				continue
 			}
+			keep := q.entries[:0]
+			for _, e := range q.entries {
+				if e.idx >= 0 {
+					queuePos[e.idx] = int32(len(keep))
+					keep = append(keep, e)
+				}
+			}
+			q.entries = keep
 		}
 
 		// ---- Pre-selection for next cycle (Figure 12).
 		if p.PreSelect != nil && stages > 1 {
 			for _, q := range queues {
-				markPreSelections(p, q, cycle, stages)
+				markPreSelections(p, q, cycle, stages, quota)
 			}
 		}
 
 		// ---- Dispatch from the frontend queue into the issue queues.
 		dispatchedNow := 0
-		for len(frontQ) > 0 && dispatchedNow < m.FetchWidth {
-			f := frontQ[0]
+		for frontQ.len() > 0 && dispatchedNow < m.FetchWidth {
+			f := frontQ.front()
 			if f.readyAt > cycle {
 				break
 			}
 			in := insts[f.idx]
-			q := queueFor(in.Class)
+			q := intQ
+			if in.Class.IsFP() {
+				q = fpQ
+			}
 			if len(q.entries) >= q.cap {
 				stats.WindowFullStalls++
 				break
@@ -298,11 +376,28 @@ func runOutOfOrder(p Params, tr *trace.Trace) Stats {
 				stats.ROBFullStalls++
 				break
 			}
-			e := winEntry{idx: f.idx, src1: -1, src2: -1}
-			e.wake1 = resolveOperand(in.Src1, dataAt, completeAt, cycle, &e.src1)
-			e.wake2 = resolveOperand(in.Src2, dataAt, completeAt, cycle, &e.src2)
+			e := winEntry{idx: f.idx, src1: -1, src2: -1, ready: pending}
+			w1 := resolveOperand(in.Src1, dataAt, completeAt, cycle, &e.src1)
+			w2 := resolveOperand(in.Src2, dataAt, completeAt, cycle, &e.src2)
+			if e.src1 == -1 && e.acc < w1 {
+				e.acc = w1
+			}
+			if e.src2 == -1 && e.acc < w2 {
+				e.acc = w2
+			}
+			if e.src1 == -1 && e.src2 == -1 {
+				// Dispatched fully scheduled: it can issue once both
+				// operands are visible, no earlier than the next cycle
+				// (dispatch follows this cycle's selection).
+				e.ready = e.acc
+				c := maxInt64(e.acc, cycle+1)
+				if c < q.nextReady {
+					q.nextReady = c
+				}
+			}
+			queuePos[f.idx] = int32(len(q.entries))
 			q.entries = append(q.entries, e)
-			frontQ = frontQ[1:]
+			frontQ.pop()
 			dispatchedNow++
 		}
 
@@ -318,9 +413,9 @@ func runOutOfOrder(p Params, tr *trace.Trace) Stats {
 		frontCap := m.FetchWidth * (frontDepth + 2)
 		if fetchBlock < 0 {
 			slots := m.FetchWidth
-			for slots > 0 && fetchIdx < n && len(frontQ) < frontCap {
+			for slots > 0 && fetchIdx < n && frontQ.len() < frontCap {
 				in := insts[fetchIdx]
-				frontQ = append(frontQ, fq{idx: int32(fetchIdx), readyAt: cycle + int64(frontDepth)})
+				frontQ.push(fq{idx: int32(fetchIdx), readyAt: cycle + int64(frontDepth)})
 				slots--
 				if in.Class == isa.Branch {
 					guess := pred.Predict(in.PC)
@@ -354,7 +449,7 @@ func runOutOfOrder(p Params, tr *trace.Trace) Stats {
 			stuckCycles++
 			if stuckCycles > 1_000_000 {
 				panic(fmt.Sprintf("pipeline: no commit progress at cycle %d (head=%d, frontQ=%d)",
-					cycle, head, len(frontQ)))
+					cycle, head, frontQ.len()))
 			}
 		} else {
 			lastHead = head
@@ -379,7 +474,8 @@ func runOutOfOrder(p Params, tr *trace.Trace) Stats {
 // producer has already issued, the scoreboard covers it and the operand is
 // usable as soon as the value exists (completeAt — the wakeup loop taxes
 // only in-window tag broadcasts, not register-file reads of older results).
-// Otherwise the operand stays pending until the producer's broadcast.
+// Otherwise the operand stays pending until the producer's issue delivers
+// it through the consumer index.
 func resolveOperand(src int32, dataAt, completeAt []int64, cycle int64, slot *int32) int64 {
 	if src < 0 {
 		return 0
@@ -399,61 +495,95 @@ type issueQueue struct {
 	entries []winEntry
 	cap     int
 	segSize int // entries per wakeup segment
+
+	// nextReady is a lower bound on the next cycle at which any resident
+	// entry could issue; while cycle < nextReady the selection scan is
+	// skipped entirely (see issueSelect for how the bound is maintained).
+	// It is advisory-low only — a stale small value costs a wasted scan,
+	// never a changed schedule — and is ignored under partitioned
+	// selection, whose latches couple consecutive cycles.
+	nextReady int64
 }
 
-func newIssueQueue(capacity, stages int) *issueQueue {
-	return &issueQueue{
-		entries: make([]winEntry, 0, capacity),
-		cap:     capacity,
-		segSize: (capacity + stages - 1) / stages,
+// reset configures the queue for a run, reusing the entry storage.
+func (q *issueQueue) reset(capacity, stages int) {
+	if cap(q.entries) < capacity {
+		q.entries = make([]winEntry, 0, capacity)
 	}
+	q.entries = q.entries[:0]
+	q.cap = capacity
+	q.segSize = (capacity + stages - 1) / stages
+	q.nextReady = 0
 }
 
 // issueSelect picks the instructions to issue from one queue this cycle,
 // honouring the shared issue widths, the segmented-wakeup visibility times,
 // and (when enabled) the partitioned selection quotas. It decrements the
-// budgets in place and returns the selected entries, oldest first.
+// budgets in place and appends the selected trace indices to sel, oldest
+// first, returning the filled slice (caller-provided scratch; never
+// allocates at steady state).
+//
+// The second result is the queue's next-ready bound: the earliest cycle
+// at which this queue could select anything, given what this scan saw. An
+// entry whose operands are both scheduled contributes their max wake
+// time; an entry that was ready but lost to a budget (it stays resident)
+// forces cycle+1; a scan cut short by budget exhaustion learns nothing
+// beyond cycle+1. Entries still awaiting a producer contribute nothing —
+// the wakeup delivery that schedules them lowers the queue's bound at
+// delivery time. Wake deliveries always land beyond the current cycle
+// (every resolved latency is at least one cycle), so the bound being a
+// true lower bound means skipped scans select exactly what a real scan
+// would have: nothing.
 func issueSelect(p Params, insts []trace.Inst, q *issueQueue, cycle int64,
-	intBudget, fpBudget *int, stages int, dataAt []int64) []winEntry {
+	intBudget, fpBudget *int, preSel bool, sel []int32) ([]int32, int64) {
 
-	selected := make([]winEntry, 0, *intBudget+*fpBudget)
+	nextReady := int64(pending)
 	for wi := range q.entries {
 		if *intBudget == 0 && *fpBudget == 0 {
+			nextReady = cycle + 1
 			break
 		}
 		e := &q.entries[wi]
-		if dataAt[e.idx] != pending {
-			continue // already issued
-		}
-		if e.wake1 == pending || e.wake2 == pending || e.wake1 > cycle || e.wake2 > cycle {
+		// Resident entries are always un-issued (issued ones are compacted
+		// away the same cycle), so the single ready timestamp decides
+		// selectability; it doubles as the entry's next-ready contribution
+		// (pending, meaning "still awaiting a producer", never lowers the
+		// bound since nextReady starts there).
+		if e.ready > cycle {
+			if e.ready < nextReady {
+				nextReady = e.ready
+			}
 			continue
 		}
 		// Partitioned selection: instructions beyond stage 1 are only
 		// eligible if a pre-selection block latched them last cycle.
-		if p.PreSelect != nil && stages > 1 && wi >= q.segSize && !e.preSelected {
+		if preSel && wi >= q.segSize && !e.preSelected {
+			nextReady = cycle + 1
 			continue
 		}
 		if insts[e.idx].Class.IsFP() {
 			if *fpBudget == 0 {
+				nextReady = cycle + 1
 				continue
 			}
 			*fpBudget--
 		} else {
 			if *intBudget == 0 {
+				nextReady = cycle + 1
 				continue
 			}
 			*intBudget--
 		}
-		selected = append(selected, *e)
+		sel = append(sel, e.idx)
 	}
-	return selected
+	return sel, nextReady
 }
 
 // markPreSelections implements the Figure 12 pre-selection blocks: each
 // stage beyond the first examines its ready instructions and latches up to
-// its quota for the selector to consider next cycle.
-func markPreSelections(p Params, q *issueQueue, cycle int64, stages int) {
-	quota := make([]int, stages)
+// its quota for the selector to consider next cycle. quota is caller
+// scratch of at least stages slots, overwritten on every call.
+func markPreSelections(p Params, q *issueQueue, cycle int64, stages int, quota []int) {
 	for s := 1; s < stages; s++ {
 		n := 0
 		if s-1 < len(p.PreSelect) {
@@ -468,9 +598,7 @@ func markPreSelections(p Params, q *issueQueue, cycle int64, stages int) {
 			continue
 		}
 		e.preSelected = false
-		if s < stages && quota[s] > 0 &&
-			e.wake1 != pending && e.wake2 != pending &&
-			e.wake1 <= cycle && e.wake2 <= cycle {
+		if s < stages && quota[s] > 0 && e.ready <= cycle {
 			e.preSelected = true
 			quota[s]--
 		}

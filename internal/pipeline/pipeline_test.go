@@ -11,7 +11,7 @@ import (
 // benchTrace caches generated traces across tests.
 var benchTraces = map[string]*trace.Trace{}
 
-func getTrace(t *testing.T, name string, n int) *trace.Trace {
+func getTrace(t testing.TB, name string, n int) *trace.Trace {
 	t.Helper()
 	key := name
 	if tr, ok := benchTraces[key]; ok && len(tr.Insts) >= n {

@@ -1,0 +1,202 @@
+package pipeline
+
+import (
+	"sync"
+
+	"repro/internal/branch"
+	"repro/internal/config"
+	"repro/internal/mem"
+)
+
+// Scratch is the reusable simulation state of one Run: the
+// per-instruction timestamp arenas, issue-queue storage, selection and
+// pre-selection scratch, the frontend ring buffer, and the (resettable)
+// branch predictor and cache hierarchy. A fresh Scratch is valid; reuse
+// only amortizes allocations.
+//
+// Contract: a Scratch may serve any number of sequential RunWith calls —
+// every run fully re-initializes the state it reads, so results are a
+// pure function of (Params, Trace) regardless of what ran before — but
+// it must never be shared by concurrent runs. The sweep engine threads
+// one Scratch per worker through exec.MapWithState; plain Run borrows
+// one from a package pool. Traces stay immutable throughout: a Scratch
+// only ever holds simulator-private state, never trace data.
+type Scratch struct {
+	// Per-instruction arenas, sized to the trace on each run.
+	dataAt     []int64 // cycle a consumer may issue (post-bypass)
+	completeAt []int64 // cycle the instruction has executed
+	commitAt   []int64 // cycle the instruction commits
+	queuePos   []int32 // position in its issue queue, -1 while absent
+
+	queueStore [2]issueQueue
+	queueRefs  []*issueQueue // reused header for the active queue set
+
+	selected []int32 // issueSelect output scratch
+	quota    []int   // markPreSelections quota scratch
+
+	frontQ fqRing
+
+	pred *branch.Tournament
+
+	hier    *mem.Hierarchy
+	hierKey hierKey
+}
+
+// NewScratch returns an empty Scratch; arenas grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// arenas sizes the per-instruction arrays for an n-instruction trace and
+// resets them to their start-of-run values.
+func (s *Scratch) arenas(n int) {
+	if cap(s.dataAt) < n {
+		s.dataAt = make([]int64, n)
+		s.completeAt = make([]int64, n)
+		s.commitAt = make([]int64, n)
+		s.queuePos = make([]int32, n)
+	}
+	s.dataAt = s.dataAt[:n]
+	s.completeAt = s.completeAt[:n]
+	s.commitAt = s.commitAt[:n]
+	s.queuePos = s.queuePos[:n]
+	for i := 0; i < n; i++ {
+		s.dataAt[i] = pending
+		s.completeAt[i] = pending
+		s.commitAt[i] = pending
+		s.queuePos[i] = -1
+	}
+}
+
+// queues configures the run's issue-queue set out of the scratch storage:
+// the 21264's split integer/FP queues, or one shared window when
+// UnifiedWindow is set.
+func (s *Scratch) queues(m config.Machine, stages int) []*issueQueue {
+	if s.queueRefs == nil {
+		s.queueRefs = make([]*issueQueue, 0, len(s.queueStore))
+	}
+	qs := s.queueRefs[:0]
+	if m.UnifiedWindow > 0 {
+		s.queueStore[0].reset(m.UnifiedWindow, stages)
+		qs = append(qs, &s.queueStore[0])
+	} else {
+		if m.IntWindow <= 0 || m.FPWindow <= 0 {
+			panic("pipeline: machine needs issue-queue capacities")
+		}
+		s.queueStore[0].reset(m.IntWindow, stages)
+		s.queueStore[1].reset(m.FPWindow, stages)
+		qs = append(qs, &s.queueStore[0], &s.queueStore[1])
+	}
+	s.queueRefs = qs
+	return qs
+}
+
+// selScratch returns the per-cycle selection scratch, emptied, with
+// capacity for a full-width issue cycle.
+func (s *Scratch) selScratch(width int) []int32 {
+	if cap(s.selected) < width {
+		s.selected = make([]int32, 0, width)
+	}
+	return s.selected[:0]
+}
+
+// quotaScratch returns the pre-selection quota array, one slot per
+// window stage.
+func (s *Scratch) quotaScratch(stages int) []int {
+	if cap(s.quota) < stages {
+		s.quota = make([]int, stages)
+	}
+	return s.quota[:stages]
+}
+
+// predictor returns the scratch's branch predictor in boot state.
+func (s *Scratch) predictor() *branch.Tournament {
+	if s.pred == nil {
+		s.pred = branch.New()
+	} else {
+		s.pred.Reset()
+	}
+	return s.pred
+}
+
+// hierKey is the cache-geometry identity of a memory hierarchy: two
+// hierarchies with equal keys are interchangeable after a Reset.
+type hierKey struct {
+	flat                       bool
+	dl1Cap, dl1Block, dl1Assoc int
+	l2Cap, l2Block, l2Assoc    int
+}
+
+func hierKeyFor(m config.Machine) hierKey {
+	if m.Cray1SMemory {
+		return hierKey{flat: true}
+	}
+	st := m.Structures
+	return hierKey{
+		dl1Cap: st.DL1.CapacityBytes, dl1Block: st.DL1.BlockBytes, dl1Assoc: st.DL1.Assoc,
+		l2Cap: st.L2.CapacityBytes, l2Block: st.L2.BlockBytes, l2Assoc: st.L2.Assoc,
+	}
+}
+
+// hierarchy returns a memory hierarchy for machine m, reusing the cached
+// one when the cache geometry matches (Reset restores the built state
+// exactly) and rebuilding it otherwise.
+func (s *Scratch) hierarchy(m config.Machine) *mem.Hierarchy {
+	key := hierKeyFor(m)
+	if s.hier != nil && key == s.hierKey {
+		s.hier.Reset()
+		return s.hier
+	}
+	s.hier = newHierarchy(m)
+	s.hierKey = key
+	return s.hier
+}
+
+// scratchPool serves direct Run callers that do not manage their own
+// per-worker Scratch (examples, tests, one-off simulations).
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// fq is one frontend-queue slot: a fetched instruction and the cycle it
+// reaches dispatch.
+type fq struct {
+	idx     int32
+	readyAt int64
+}
+
+// fqRing is the frontend queue between fetch and dispatch: a growable
+// power-of-two ring buffer, so steady-state push/pop is pointer
+// arithmetic instead of the slice churn of frontQ = frontQ[1:].
+type fqRing struct {
+	buf  []fq // power-of-two length
+	head int
+	size int
+}
+
+func (r *fqRing) reset() { r.head, r.size = 0, 0 }
+
+func (r *fqRing) len() int { return r.size }
+
+func (r *fqRing) front() fq { return r.buf[r.head] }
+
+func (r *fqRing) push(f fq) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.size)&(len(r.buf)-1)] = f
+	r.size++
+}
+
+func (r *fqRing) pop() {
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.size--
+}
+
+func (r *fqRing) grow() {
+	n := 2 * len(r.buf)
+	if n == 0 {
+		n = 64
+	}
+	buf := make([]fq, n)
+	for i := 0; i < r.size; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = buf, 0
+}

@@ -1,0 +1,89 @@
+package trace
+
+import "sync"
+
+// ConsumerIndex is the reverse dependence adjacency of a trace in
+// compressed-sparse-row form: the consumers of instruction i are
+// Edges[Offsets[i]:Offsets[i+1]], in program order. An instruction with
+// both source operands fed by the same producer appears twice in that
+// producer's edge list (once per operand), so edge count equals the
+// number of register-source dependences in the trace.
+//
+// The simulators use the index to wake exactly a completing producer's
+// consumers instead of broadcasting a tag comparison across every issue
+// window entry — the same O(window) scan per issued instruction whose
+// circuit cost the paper's Section 5 segmented window attacks.
+type ConsumerIndex struct {
+	Offsets []int32 // len(Insts)+1 row starts into Edges
+	Edges   []int32 // consumer trace indices, grouped by producer
+}
+
+// Consumers returns the edge list of producer i.
+func (ci *ConsumerIndex) Consumers(i int32) []int32 {
+	return ci.Edges[ci.Offsets[i]:ci.Offsets[i+1]]
+}
+
+// consumerCacheKey identifies an instruction stream by identity rather
+// than by Trace pointer: WithPrefetchCoverage clones share Insts with
+// their parent, and one index serves every clone.
+type consumerCacheKey struct {
+	first *Inst
+	n     int
+}
+
+// consumerCache holds every consumer index built so far, process-wide,
+// exactly like internal/core's trace cache: traces are immutable once
+// generated, so the index is immutable too and one build serves every
+// study, worker and clock point.
+var consumerCache sync.Map // consumerCacheKey → *ConsumerIndex
+
+// ConsumerIndexOf returns the trace's consumer index, building and
+// caching it on first use. The returned index is shared and must be
+// treated as read-only; concurrent callers may race to build it, but the
+// construction is a pure function of the trace so either result is
+// identical and LoadOrStore picks a canonical one.
+func (t *Trace) ConsumerIndexOf() *ConsumerIndex {
+	if len(t.Insts) == 0 {
+		return &ConsumerIndex{Offsets: make([]int32, 1)}
+	}
+	key := consumerCacheKey{first: &t.Insts[0], n: len(t.Insts)}
+	if v, ok := consumerCache.Load(key); ok {
+		return v.(*ConsumerIndex)
+	}
+	v, _ := consumerCache.LoadOrStore(key, buildConsumerIndex(t.Insts))
+	return v.(*ConsumerIndex)
+}
+
+// buildConsumerIndex builds the CSR adjacency in two passes: count the
+// out-degree of every producer, prefix-sum into row offsets, then fill.
+// Dependencies always point backwards (see Inst), so the result is a DAG
+// adjacency whose edge lists are sorted by consumer index.
+func buildConsumerIndex(insts []Inst) *ConsumerIndex {
+	n := len(insts)
+	offsets := make([]int32, n+1)
+	for i := range insts {
+		if s := insts[i].Src1; s >= 0 {
+			offsets[s+1]++
+		}
+		if s := insts[i].Src2; s >= 0 {
+			offsets[s+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	edges := make([]int32, offsets[n])
+	next := make([]int32, n)
+	copy(next, offsets[:n])
+	for i := range insts {
+		if s := insts[i].Src1; s >= 0 {
+			edges[next[s]] = int32(i)
+			next[s]++
+		}
+		if s := insts[i].Src2; s >= 0 {
+			edges[next[s]] = int32(i)
+			next[s]++
+		}
+	}
+	return &ConsumerIndex{Offsets: offsets, Edges: edges}
+}
