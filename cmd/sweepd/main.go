@@ -1,0 +1,96 @@
+// Command sweepd is the sweep-serving daemon: a long-running HTTP front
+// end over the simulation library (internal/serve). Clients POST grid
+// requests to /sweep and stream per-point results back as NDJSON;
+// overlapping grids from concurrent clients share simulation work
+// through a content-addressed result cache and singleflight dedup.
+//
+//	sweepd -addr 127.0.0.1:8080 -workers 0 -queue 4096
+//
+// Endpoints:
+//
+//	POST /sweep    {"useful":[4,8],"benchmarks":["gcc"],"instructions":20000}
+//	GET  /healthz  liveness + queue depth; 503 while draining
+//	GET  /stats    cache hit ratio, queue gauges, telemetry snapshot
+//
+// SIGINT/SIGTERM drain gracefully: admission stops (new sweeps get 503),
+// in-flight streams run to completion within -drain-timeout, then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cliflags"
+	"repro/internal/serve"
+)
+
+func main() {
+	sv := cliflags.RegisterServe()
+	tel := cliflags.RegisterTel()
+	flag.Parse()
+	sv.MustValidate()
+	run := tel.MustStart("sweepd")
+	run.SetConfig("addr", *sv.Addr)
+	run.SetConfig("workers", *sv.Workers)
+	run.SetConfig("queue", *sv.Queue)
+	run.SetConfig("max_points", *sv.MaxPoints)
+	run.SetConfig("max_instructions", *sv.MaxInstructions)
+
+	srv := serve.New(serve.Config{
+		Workers:             *sv.Workers,
+		QueueLimit:          *sv.Queue,
+		MaxPointsPerRequest: *sv.MaxPoints,
+		MaxInstructions:     *sv.MaxInstructions,
+		Rec:                 run.Recorder(),
+		Log:                 run.Log,
+	})
+	hs := &http.Server{Addr: *sv.Addr, Handler: srv}
+
+	ln, err := net.Listen("tcp", *sv.Addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	// The readiness line goes to stderr (stdout stays free for tooling
+	// that pipes sweep output) and reports the resolved port for -addr :0.
+	fmt.Fprintf(os.Stderr, "sweepd: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	// The listener needs its own goroutine so main can watch for
+	// signals; all simulation work stays behind the deterministic
+	// executor inside internal/serve.
+	go func() { errc <- hs.Serve(ln) }() //reprolint:allow goroutinescope: the HTTP accept loop must run beside the signal watcher; simulation parallelism stays behind exec.MapWithState
+
+	exit := 0
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			exit = 1
+		}
+	case <-ctx.Done():
+		stop()
+		run.Log.Info("draining", "timeout", *sv.DrainTimeout)
+		srv.BeginDrain()
+		sctx, cancel := context.WithTimeout(context.Background(), *sv.DrainTimeout)
+		if err := hs.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "error: drain incomplete:", err)
+			exit = 1
+		}
+		cancel()
+	}
+	srv.Close()
+	cliflags.MustClose(run)
+	os.Exit(exit)
+}

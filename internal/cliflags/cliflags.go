@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -81,6 +82,67 @@ func (s *Sim) MustOptions() experiments.Options {
 		os.Exit(2)
 	}
 	return o
+}
+
+// Srv holds the serving flags of cmd/sweepd: listener address, admission
+// bounds and the graceful-drain budget, alongside the same -workers knob
+// the study binaries use for their simulation pools.
+type Srv struct {
+	Addr            *string
+	Workers         *int
+	Queue           *int
+	MaxPoints       *int
+	MaxInstructions *int
+	DrainTimeout    *time.Duration
+}
+
+// RegisterServe declares the serving flags on the default flag set.
+func RegisterServe() *Srv {
+	return RegisterServeOn(flag.CommandLine)
+}
+
+// RegisterServeOn declares the serving flags on an explicit flag set,
+// for tests that parse repeatedly.
+func RegisterServeOn(fs *flag.FlagSet) *Srv {
+	return &Srv{
+		Addr:            fs.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)"),
+		Workers:         fs.Int("workers", 0, "simulation worker pool size (0 = all CPUs, 1 = serial)"),
+		Queue:           fs.Int("queue", 4096, "max queued sweep points before requests get 429"),
+		MaxPoints:       fs.Int("max-points", 1024, "max distinct points one request may expand to"),
+		MaxInstructions: fs.Int("max-instructions", 1_000_000, "max instructions per trace a request may ask for"),
+		DrainTimeout:    fs.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight streams"),
+	}
+}
+
+// Validate rejects nonsensical serving flags before the daemon binds.
+func (s *Srv) Validate() error {
+	if *s.Addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if *s.Workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *s.Workers)
+	}
+	if *s.Queue <= 0 {
+		return fmt.Errorf("-queue must be positive, got %d", *s.Queue)
+	}
+	if *s.MaxPoints <= 0 {
+		return fmt.Errorf("-max-points must be positive, got %d", *s.MaxPoints)
+	}
+	if *s.MaxInstructions <= 0 {
+		return fmt.Errorf("-max-instructions must be positive, got %d", *s.MaxInstructions)
+	}
+	if *s.DrainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive, got %v", *s.DrainTimeout)
+	}
+	return nil
+}
+
+// MustValidate is Validate with the conventional exit-on-error behavior.
+func (s *Srv) MustValidate() {
+	if err := s.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
 }
 
 // Tel holds the telemetry flags every study binary accepts. The run log

@@ -1,6 +1,7 @@
 package cliflags
 
 import (
+	"flag"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -129,5 +130,43 @@ func TestOptionsRejectsBenchWithOnlySpaces(t *testing.T) {
 	_, err := sim(40000, 0, 1, "   ").Options()
 	if err == nil || !strings.Contains(err.Error(), "matches no SPEC 2000 benchmark") {
 		t.Errorf("err = %v, want no-match rejection", err)
+	}
+}
+
+func TestSrvValidation(t *testing.T) {
+	srvFlags := func(mutate func(*Srv)) *Srv {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		s := RegisterServeOn(fs)
+		if err := fs.Parse(nil); err != nil {
+			t.Fatal(err)
+		}
+		mutate(s)
+		return s
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Srv)
+		wantErr string
+	}{
+		{"defaults", func(s *Srv) {}, ""},
+		{"port zero", func(s *Srv) { *s.Addr = ":0" }, ""},
+		{"empty addr", func(s *Srv) { *s.Addr = "" }, "-addr must not be empty"},
+		{"negative workers", func(s *Srv) { *s.Workers = -1 }, "-workers must be >= 0"},
+		{"zero queue", func(s *Srv) { *s.Queue = 0 }, "-queue must be positive"},
+		{"zero max points", func(s *Srv) { *s.MaxPoints = 0 }, "-max-points must be positive"},
+		{"zero max instructions", func(s *Srv) { *s.MaxInstructions = 0 }, "-max-instructions must be positive"},
+		{"zero drain timeout", func(s *Srv) { *s.DrainTimeout = 0 }, "-drain-timeout must be positive"},
+	}
+	for _, c := range cases {
+		err := srvFlags(c.mutate).Validate()
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.wantErr)
+		}
 	}
 }

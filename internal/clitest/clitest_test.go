@@ -1,0 +1,248 @@
+// Package clitest is the end-to-end harness for the cmd/ binaries: every
+// command is built once per test run, then driven through its real CLI —
+// pinned flags, golden stdout, exit codes — exactly as CI and a user
+// would run it. Goldens live under testdata/ and regenerate with
+//
+//	go test ./internal/clitest -run Golden -update
+package clitest
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// binDir holds the freshly built binaries for the whole test run.
+var binDir string
+
+// commands is every binary under cmd/, kept in sync by TestMain, which
+// fails if the build produces a different set.
+var commands = []string{
+	"benchdiff", "cactigen", "experiments", "latchsim", "manifestcheck",
+	"pipesweep", "reprolint", "segwin", "structopt", "sweepd",
+	"traceinfo", "wirestudy",
+}
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	dir, err := os.MkdirTemp("", "clitest-bin-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clitest:", err)
+		os.Exit(1)
+	}
+	binDir = dir
+	// One build for all binaries; go's build cache makes this cheap when
+	// the tree hasn't changed.
+	build := exec.Command("go", "build", "-o", binDir+string(os.PathSeparator), "./cmd/...")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "clitest: building cmd/...: %v\n%s", err, out)
+		os.RemoveAll(binDir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(binDir)
+	os.Exit(code)
+}
+
+func TestEveryCommandBuilt(t *testing.T) {
+	entries, err := os.ReadDir(binDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var built []string
+	for _, e := range entries {
+		built = append(built, e.Name())
+	}
+	if got, want := fmt.Sprint(built), fmt.Sprint(commands); got != want {
+		t.Fatalf("built binaries %v, harness expects %v — update the commands list", built, commands)
+	}
+}
+
+// bin returns the path of one built binary.
+func bin(name string) string {
+	return filepath.Join(binDir, name)
+}
+
+// run executes one built binary from the package directory (so testdata/
+// paths stay relative and deterministic) and returns stdout, stderr and
+// the exit code.
+func run(t *testing.T, name string, args ...string) (stdout, stderr string, exit int) {
+	t.Helper()
+	cmd := exec.Command(bin(name), args...)
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	exit = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v", name, args, err)
+	}
+	return out.String(), errb.String(), exit
+}
+
+// checkGolden compares got against testdata/<name> (rewriting it under
+// -update).
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (re-run with -update after intentional changes):\n--- want\n%s\n--- got\n%s", path, want, got)
+	}
+}
+
+// The golden runs pin the exact stdout of the study binaries on small,
+// fast configurations. Simulation output is deterministic across worker
+// counts, but the goldens pin -workers 1 anyway so a determinism
+// regression shows up as a golden diff here and as a test failure in
+// internal/exec, not as flakiness.
+
+func TestGoldenPipesweepFigure5(t *testing.T) {
+	stdout, _, exit := run(t, "pipesweep", "-fig", "5", "-n", "2000", "-workers", "1")
+	if exit != 0 {
+		t.Fatalf("exit = %d", exit)
+	}
+	checkGolden(t, "pipesweep_fig5.txt", stdout)
+}
+
+func TestGoldenPipesweepFigure4aJSON(t *testing.T) {
+	stdout, _, exit := run(t, "pipesweep", "-fig", "4a", "-n", "2000", "-workers", "1", "-json")
+	if exit != 0 {
+		t.Fatalf("exit = %d", exit)
+	}
+	checkGolden(t, "pipesweep_fig4a.json", stdout)
+}
+
+func TestGoldenSegwin(t *testing.T) {
+	stdout, _, exit := run(t, "segwin", "-n", "1000", "-workers", "1")
+	if exit != 0 {
+		t.Fatalf("exit = %d", exit)
+	}
+	checkGolden(t, "segwin.txt", stdout)
+}
+
+func TestGoldenLatchsim(t *testing.T) {
+	stdout, _, exit := run(t, "latchsim")
+	if exit != 0 {
+		t.Fatalf("exit = %d", exit)
+	}
+	checkGolden(t, "latchsim.txt", stdout)
+}
+
+func TestGoldenTraceinfo(t *testing.T) {
+	stdout, _, exit := run(t, "traceinfo", "-n", "5000", "-workers", "1")
+	if exit != 0 {
+		t.Fatalf("exit = %d", exit)
+	}
+	checkGolden(t, "traceinfo.txt", stdout)
+}
+
+func TestGoldenCactigen(t *testing.T) {
+	stdout, _, exit := run(t, "cactigen")
+	if exit != 0 {
+		t.Fatalf("exit = %d", exit)
+	}
+	checkGolden(t, "cactigen.txt", stdout)
+}
+
+func TestGoldenBenchdiff(t *testing.T) {
+	stdout, _, exit := run(t, "benchdiff", "testdata/bench_old.txt", "testdata/bench_new_ok.txt")
+	if exit != 0 {
+		t.Fatalf("clean comparison exit = %d, want 0", exit)
+	}
+	checkGolden(t, "benchdiff_ok.txt", stdout)
+
+	stdout, _, exit = run(t, "benchdiff", "testdata/bench_old.txt", "testdata/bench_new_bad.txt")
+	if exit != 1 {
+		t.Fatalf("regression comparison exit = %d, want 1", exit)
+	}
+	checkGolden(t, "benchdiff_bad.txt", stdout)
+}
+
+func TestBenchdiffRecordRoundTrip(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	_, stderr, exit := run(t, "benchdiff", "-record", baseline, "testdata/bench_old.txt")
+	if exit != 0 {
+		t.Fatalf("-record exit = %d: %s", exit, stderr)
+	}
+	// A recorded baseline must compare clean against its own source.
+	stdout, stderr, exit := run(t, "benchdiff", baseline, "testdata/bench_old.txt")
+	if exit != 0 {
+		t.Fatalf("self-comparison exit = %d: %s%s", exit, stdout, stderr)
+	}
+}
+
+func TestManifestcheck(t *testing.T) {
+	// The error path is deterministic: golden it.
+	stdout, stderr, exit := run(t, "manifestcheck", "testdata/bad_manifest.json")
+	if exit != 1 {
+		t.Fatalf("bad manifest exit = %d, want 1 (stdout %q)", exit, stdout)
+	}
+	checkGolden(t, "manifestcheck_bad.txt", stderr)
+
+	// The ok path carries environment-dependent fields (go version,
+	// GOMAXPROCS, wall time), so pin its shape, not its bytes: record a
+	// real manifest with pipesweep and validate it.
+	manifest := filepath.Join(t.TempDir(), "run.json")
+	if _, stderr, exit := run(t, "pipesweep", "-fig", "4a", "-n", "500", "-workers", "1", "-manifest", manifest); exit != 0 {
+		t.Fatalf("pipesweep -manifest exit = %d: %s", exit, stderr)
+	}
+	stdout, stderr, exit = run(t, "manifestcheck", manifest)
+	if exit != 0 {
+		t.Fatalf("manifestcheck exit = %d: %s", exit, stderr)
+	}
+	if !strings.Contains(stdout, "ok: command=pipesweep") {
+		t.Fatalf("manifestcheck stdout %q does not report the pipesweep run", stdout)
+	}
+
+	if _, _, exit := run(t, "manifestcheck"); exit != 2 {
+		t.Errorf("no-args exit = %d, want 2", exit)
+	}
+}
+
+// TestBadFlagExitsTwo pins the whole flag surface's error convention:
+// an unknown flag is a usage error (exit 2) for every binary.
+func TestBadFlagExitsTwo(t *testing.T) {
+	for _, name := range commands {
+		_, stderr, exit := run(t, name, "-definitely-not-a-flag")
+		if exit != 2 {
+			t.Errorf("%s: unknown-flag exit = %d, want 2 (stderr %q)", name, exit, stderr)
+		}
+	}
+}
+
+func TestBadSimFlagValuesExitTwo(t *testing.T) {
+	cases := [][]string{
+		{"pipesweep", "-n", "0"},
+		{"pipesweep", "-fig", "99"},
+		{"traceinfo", "-workers", "-1"},
+		{"segwin", "-bench", "no-such-benchmark"},
+		{"sweepd", "-queue", "0"},
+		{"sweepd", "-addr", ""},
+		{"benchdiff", "onlyone.txt"},
+	}
+	for _, c := range cases {
+		_, stderr, exit := run(t, c[0], c[1:]...)
+		if exit != 2 {
+			t.Errorf("%v: exit = %d, want 2 (stderr %q)", c, exit, stderr)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package clitest
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startSweepd launches the daemon on an ephemeral port and returns its
+// base URL. The readiness line on stderr carries the resolved address.
+func startSweepd(t *testing.T, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "1"}, extra...)
+	cmd := exec.Command(bin("sweepd"), args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	// The first stderr line is "sweepd: listening on <addr>"; a watchdog
+	// kills the process if it never appears so the read cannot hang.
+	watchdog := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
+	defer watchdog.Stop()
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if addr, ok := strings.CutPrefix(line, "sweepd: listening on "); ok {
+			// Keep draining stderr in the background so the daemon never
+			// blocks on a full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return cmd, "http://" + strings.TrimSpace(addr)
+		}
+	}
+	t.Fatalf("sweepd exited before its readiness line (scan err: %v)", sc.Err())
+	return nil, ""
+}
+
+func TestSweepdEndToEnd(t *testing.T) {
+	cmd, url := startSweepd(t)
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, health)
+	}
+
+	// One small sweep, twice: the second run must be served from cache.
+	body := `{"useful":[6,8],"benchmarks":["gcc"],"instructions":3000}`
+	for round := 0; round < 2; round++ {
+		resp, err := http.Post(url+"/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			t.Fatalf("round %d: status %d", round, resp.StatusCode)
+		}
+		var points, done int
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var probe struct {
+				Key  string  `json:"key"`
+				IPC  float64 `json:"ipc"`
+				Done bool    `json:"done"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+				t.Fatalf("round %d: bad line %q: %v", round, sc.Text(), err)
+			}
+			if probe.Done {
+				done++
+				continue
+			}
+			if probe.Key == "" || probe.IPC <= 0 {
+				t.Fatalf("round %d: implausible point line %q", round, sc.Text())
+			}
+			points++
+		}
+		resp.Body.Close()
+		if err := sc.Err(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if points != 2 || done != 1 {
+			t.Fatalf("round %d: %d points, %d done lines; want 2, 1", round, points, done)
+		}
+	}
+
+	resp, err = http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		CacheHits   int64 `json:"cache_hits"`
+		CacheMisses int64 `json:"cache_misses"`
+		PointsDone  int64 `json:"points_done"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.CacheMisses != 2 || stats.CacheHits != 2 || stats.PointsDone != 2 {
+		t.Fatalf("stats after repeat = %+v, want 2 misses, 2 hits, 2 points done", stats)
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("sweepd did not exit cleanly on SIGTERM: %v", err)
+	}
+	if code := cmd.ProcessState.ExitCode(); code != 0 {
+		t.Fatalf("sweepd exit = %d, want 0", code)
+	}
+}
+
+func TestSweepdRejectsOversizedRequests(t *testing.T) {
+	cmd, url := startSweepd(t, "-max-points", "3")
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+	}()
+	resp, err := http.Post(url+"/sweep", "application/json",
+		strings.NewReader(`{"useful":[2,4,6,8],"benchmarks":["gcc"],"instructions":3000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 for a grid past -max-points", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "points") {
+		t.Fatalf("error %q does not mention the point limit", e.Error)
+	}
+}

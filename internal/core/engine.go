@@ -16,6 +16,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/fo4"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
@@ -83,23 +84,29 @@ type traceKey struct {
 // for the same (profile, instructions, seed).
 var traceCache sync.Map // traceKey → *trace.Trace
 
+// cachedTrace returns the (profile, instructions, seed) trace, generating
+// and caching it process-wide on a miss. rec counts hits and misses.
+// Two callers may race to generate the same trace; Generate is
+// deterministic, so either result is identical and LoadOrStore just
+// picks a canonical pointer. Either racer counts a miss: the generation
+// work really happened twice.
+func cachedTrace(p trace.Profile, instructions int, seed uint64, rec *obs.Recorder) *trace.Trace {
+	key := traceKey{profile: p, instructions: instructions, seed: seed}
+	if v, ok := traceCache.Load(key); ok {
+		rec.Add("trace_cache_hits", 1)
+		return v.(*trace.Trace)
+	}
+	rec.Add("trace_cache_misses", 1)
+	v, _ := traceCache.LoadOrStore(key, p.Generate(instructions, seed))
+	return v.(*trace.Trace)
+}
+
 // traces returns the benchmark traces for this sweep, generating missing
 // ones in parallel on the sweep's worker pool and caching them for any
 // later study in the process.
 func (c SweepConfig) traces() []*trace.Trace {
 	out, _ := exec.Map(c.pool(), c.Benchmarks, func(_ int, p trace.Profile) *trace.Trace {
-		key := traceKey{profile: p, instructions: c.Instructions, seed: c.Seed}
-		if v, ok := traceCache.Load(key); ok {
-			c.Obs.Add("trace_cache_hits", 1)
-			return v.(*trace.Trace)
-		}
-		// Two workers may race to generate the same trace; Generate is
-		// deterministic, so either result is identical and LoadOrStore
-		// just picks a canonical pointer. Either racer counts a miss: the
-		// generation work really happened twice.
-		c.Obs.Add("trace_cache_misses", 1)
-		v, _ := traceCache.LoadOrStore(key, p.Generate(c.Instructions, c.Seed))
-		return v.(*trace.Trace)
+		return cachedTrace(p, c.Instructions, c.Seed, c.Obs)
 	})
 	return out
 }

@@ -41,6 +41,22 @@ type Pool struct {
 	// signatures directly.
 	OnTaskStart func(worker, index int, queueWait time.Duration)
 	OnTaskDone  func(worker, index int, dur time.Duration)
+
+	// Skip, when non-nil, is consulted once per job at the moment a
+	// worker would otherwise run it: a true return abandons that job —
+	// its result slot keeps the zero value and neither observation hook
+	// fires. It exists so a long-lived caller (the sweep-serving daemon)
+	// can cancel individual not-yet-started tasks whose requesters have
+	// gone away without tearing down the whole run the way Ctx does.
+	//
+	// Contract: Skip selects which slots get filled; it must never
+	// influence the value computed for a job that does run. fn stays a
+	// pure function of (index, item), so every filled slot is
+	// byte-for-byte identical at any worker count regardless of how Skip
+	// answered for other jobs. Skip must be safe for concurrent calls
+	// and should be monotonic (once true for an index, stay true): a
+	// job observed as skipped never runs later.
+	Skip func(index int) bool
 }
 
 // size resolves the worker count for n items.
@@ -124,6 +140,9 @@ func MapWithState[T, R, S any](p Pool, items []T, newState func() S, fn func(sta
 			if err := ctx.Err(); err != nil {
 				return results, err
 			}
+			if p.Skip != nil && p.Skip(i) {
+				continue
+			}
 			results[i] = call(0, state, i, it)
 		}
 		return results, ctx.Err()
@@ -143,6 +162,9 @@ func MapWithState[T, R, S any](p Pool, items []T, newState func() S, fn func(sta
 				i := int(next.Add(1)) - 1
 				if i >= len(items) {
 					return
+				}
+				if p.Skip != nil && p.Skip(i) {
+					continue
 				}
 				results[i] = call(w, state, i, items[i])
 			}

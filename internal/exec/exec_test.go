@@ -261,3 +261,69 @@ func TestHooksDoNotChangeOutput(t *testing.T) {
 		}
 	}
 }
+
+func TestSkipDropsJobsAndKeepsSlots(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var started, done atomic.Int64
+		p := Pool{
+			Workers:     workers,
+			Skip:        func(i int) bool { return i%3 == 0 },
+			OnTaskStart: func(w, i int, q time.Duration) { started.Add(1) },
+			OnTaskDone:  func(w, i int, d time.Duration) { done.Add(1) },
+		}
+		got, err := Map(p, items(30), func(i, v int) int { return v + 1 })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		ran := 0
+		for i, v := range got {
+			if i%3 == 0 {
+				if v != 0 {
+					t.Fatalf("workers=%d: skipped slot %d = %d, want zero value", workers, i, v)
+				}
+				continue
+			}
+			ran++
+			if v != i+1 {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i+1)
+			}
+		}
+		if started.Load() != int64(ran) || done.Load() != int64(ran) {
+			t.Fatalf("workers=%d: hooks fired %d/%d times for %d run jobs (skips must not fire hooks)",
+				workers, started.Load(), done.Load(), ran)
+		}
+	}
+}
+
+func TestSkipNilRunsEverything(t *testing.T) {
+	got, err := Map(Pool{Workers: 2}, items(20), func(i, v int) int { return v + 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("slot %d = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+func TestSkipConsultedOncePerJob(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls [50]atomic.Int64
+		p := Pool{
+			Workers: workers,
+			Skip: func(i int) bool {
+				calls[i].Add(1)
+				return false
+			},
+		}
+		if _, err := Map(p, items(50), func(i, v int) int { return v }); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range calls {
+			if n := calls[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: Skip(%d) consulted %d times, want 1", workers, i, n)
+			}
+		}
+	}
+}

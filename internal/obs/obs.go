@@ -101,6 +101,19 @@ func (r *Recorder) Study(name string) func() {
 	}
 }
 
+// Counter returns the current value of one named counter (0 when the
+// counter has never been incremented, or on a nil recorder). The serving
+// layer's /stats endpoint reads individual gauges through it without
+// paying for a full Snapshot.
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
 // TaskStart records one executor task being picked up; queueWait is how
 // long the task waited between its grid being submitted and this start.
 // The signature matches exec.Pool's OnTaskStart hook.

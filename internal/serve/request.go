@@ -1,0 +1,204 @@
+package serve
+
+// The wire schema: a SweepRequest describes a grid the way the study
+// drivers do — a depth range, a benchmark subset, optional segmented-
+// window configurations — and expands into the per-point tasks the
+// scheduler dedupes and caches. Responses stream one PointResult per
+// distinct point as NDJSON; per-point lines are built exactly once (by
+// the worker that simulates the point) and reused byte-for-byte for
+// every client that asks for the same point.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fo4"
+	"repro/internal/pipeline"
+)
+
+// SweepRequest is the JSON body of POST /sweep. Every field is optional
+// except a non-empty grid: omitted fields take the paper defaults, so
+// `{}` would mean the full Figure 5 sweep — deliberately rejected in
+// favour of an explicit `"useful": []` choice; use `"useful": [2,...,16]`
+// or the range form for the full grid.
+type SweepRequest struct {
+	// Machine is "ooo" (default) or "inorder".
+	Machine string `json:"machine,omitempty"`
+
+	// Useful lists the t_useful grid points (FO4) explicitly. When empty
+	// the UsefulMin/UsefulMax/UsefulStep range is used instead.
+	Useful []float64 `json:"useful,omitempty"`
+
+	// UsefulMin..UsefulMax by UsefulStep (default step 1) is the range
+	// form of the grid; the paper's grid is min 2, max 16.
+	UsefulMin  float64 `json:"useful_min,omitempty"`
+	UsefulMax  float64 `json:"useful_max,omitempty"`
+	UsefulStep float64 `json:"useful_step,omitempty"`
+
+	// Benchmarks names the Table 2 subset to run ("gcc" or "176.gcc");
+	// nil or empty means the full SPEC 2000 suite.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+
+	// Instructions per trace (0 = 60000), Warmup (0 = 20%, -1 = none)
+	// and Seed (0 = 1) follow core.SweepConfig's semantics exactly.
+	Instructions int    `json:"instructions,omitempty"`
+	Warmup       int    `json:"warmup,omitempty"`
+	Seed         uint64 `json:"seed,omitempty"`
+
+	// OverheadFO4 is the total per-stage clocking overhead: 0 = the
+	// Table 1 default (1.8), -1 = none (Figure 4a's idealization).
+	OverheadFO4 float64 `json:"overhead_fo4,omitempty"`
+
+	// Window, when > 0, runs a unified issue window of that many entries;
+	// WindowStages lists the segmented-window configurations to evaluate
+	// (empty = conventional single-segment only). PreSelect and
+	// NaivePipelining select the Section 5 variants.
+	Window          int   `json:"window,omitempty"`
+	WindowStages    []int `json:"window_stages,omitempty"`
+	PreSelect       []int `json:"preselect,omitempty"`
+	NaivePipelining bool  `json:"naive_pipelining,omitempty"`
+}
+
+// Limits bounds what one request may ask for; the zero value means the
+// server defaults (see Config).
+type Limits struct {
+	MaxPoints       int // distinct points per request
+	MaxInstructions int // instructions per trace
+}
+
+// usefulGrid resolves the request's depth grid.
+func (r SweepRequest) usefulGrid() ([]float64, error) {
+	if len(r.Useful) > 0 {
+		return r.Useful, nil
+	}
+	if r.UsefulMin == 0 && r.UsefulMax == 0 {
+		return nil, fmt.Errorf("empty grid: set useful (e.g. [8]) or useful_min/useful_max")
+	}
+	step := r.UsefulStep
+	if step == 0 {
+		step = 1
+	}
+	if step < 0 || r.UsefulMax < r.UsefulMin || r.UsefulMin <= 0 {
+		return nil, fmt.Errorf("bad useful range: min %g, max %g, step %g", r.UsefulMin, r.UsefulMax, step)
+	}
+	var grid []float64
+	for u := r.UsefulMin; u <= r.UsefulMax; u += step {
+		grid = append(grid, u)
+	}
+	return grid, nil
+}
+
+// benchmarks resolves the request's benchmark subset to suite names.
+func (r SweepRequest) benchmarks() ([]string, error) {
+	if len(r.Benchmarks) == 0 {
+		return core.BenchmarkNames(), nil
+	}
+	out := make([]string, 0, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		p, ok := core.ProfileByName(b)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", b)
+		}
+		out = append(out, p.Name)
+	}
+	return out, nil
+}
+
+// Points expands the request into its distinct simulation points, in
+// deterministic (useful × window-stages × benchmark) order, each
+// normalized and validated. keys[i] is pts[i].Key(codeVersion).
+// Duplicate points (an explicit grid listing the same depth twice, or
+// two benchmark spellings of one profile) collapse onto one point.
+func (r SweepRequest) Points(codeVersion string, lim Limits) (pts []core.PointOptions, keys []string, err error) {
+	grid, err := r.usefulGrid()
+	if err != nil {
+		return nil, nil, err
+	}
+	benches, err := r.benchmarks()
+	if err != nil {
+		return nil, nil, err
+	}
+	stages := r.WindowStages
+	if len(stages) == 0 {
+		stages = []int{1}
+	}
+	if lim.MaxInstructions > 0 && r.Instructions > lim.MaxInstructions {
+		return nil, nil, fmt.Errorf("instructions %d exceeds the server limit %d", r.Instructions, lim.MaxInstructions)
+	}
+
+	seen := map[string]bool{}
+	for _, u := range grid {
+		for _, st := range stages {
+			for _, b := range benches {
+				o := core.PointOptions{
+					Machine:         r.Machine,
+					Benchmark:       b,
+					Useful:          u,
+					OverheadFO4:     r.OverheadFO4,
+					Window:          r.Window,
+					WindowStages:    st,
+					PreSelect:       r.PreSelect,
+					NaivePipelining: r.NaivePipelining,
+					Instructions:    r.Instructions,
+					Warmup:          r.Warmup,
+					Seed:            r.Seed,
+				}.Normalize()
+				if err := o.Validate(); err != nil {
+					return nil, nil, err
+				}
+				k := o.Key(codeVersion)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				pts = append(pts, o)
+				keys = append(keys, k)
+				if lim.MaxPoints > 0 && len(pts) > lim.MaxPoints {
+					return nil, nil, fmt.Errorf("request expands to more than %d points (limit); narrow the grid", lim.MaxPoints)
+				}
+			}
+		}
+	}
+	return pts, keys, nil
+}
+
+// PointResult is one NDJSON line of a sweep response. The line for a
+// given key is marshaled exactly once, by the worker that simulated the
+// point, so every client streaming that point receives byte-identical
+// bytes.
+type PointResult struct {
+	Key       string  `json:"key"`
+	Machine   string  `json:"machine"`
+	Benchmark string  `json:"benchmark"`
+	Group     string  `json:"group"`
+	Useful    float64 `json:"useful"`
+	PeriodFO4 float64 `json:"period_fo4"`
+	FreqMHz   float64 `json:"freq_mhz"`
+	Stages    int     `json:"window_stages,omitempty"`
+
+	IPC   float64        `json:"ipc"`
+	BIPS  float64        `json:"bips"`
+	Stats pipeline.Stats `json:"stats"`
+}
+
+// newPointResult assembles the response line for one simulated point;
+// opts must be normalized (the scheduler only holds normalized points).
+func newPointResult(key string, opts core.PointOptions, res core.BenchPoint) PointResult {
+	clk := opts.Clock()
+	pr := PointResult{
+		Key:       key,
+		Machine:   opts.Machine,
+		Benchmark: res.Name,
+		Group:     res.Group.String(),
+		Useful:    opts.Useful,
+		PeriodFO4: clk.PeriodFO4(),
+		FreqMHz:   clk.FrequencyHz(fo4.Tech100nm) / 1e6,
+		IPC:       res.IPC,
+		BIPS:      res.BIPS,
+		Stats:     res.Stats,
+	}
+	if opts.WindowStages > 1 {
+		pr.Stages = opts.WindowStages
+	}
+	return pr
+}

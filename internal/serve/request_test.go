@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPointsExpansionOrderAndDedup(t *testing.T) {
+	// The same depth twice and two spellings of one benchmark collapse
+	// onto single points; order is useful x stages x benchmark.
+	req := SweepRequest{
+		Useful:     []float64{8, 8, 6},
+		Benchmarks: []string{"gcc", "176.gcc", "swim"},
+	}
+	pts, keys, err := req.Points("v", Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 || len(keys) != 4 {
+		t.Fatalf("got %d points, want 4 (2 depths x 2 distinct benchmarks)", len(pts))
+	}
+	want := []struct {
+		useful float64
+		bench  string
+	}{
+		{8, "176.gcc"}, {8, "171.swim"}, {6, "176.gcc"}, {6, "171.swim"},
+	}
+	for i, w := range want {
+		if pts[i].Useful != w.useful || pts[i].Benchmark != w.bench {
+			t.Errorf("point %d = (%g, %s), want (%g, %s)",
+				i, pts[i].Useful, pts[i].Benchmark, w.useful, w.bench)
+		}
+		if keys[i] != pts[i].Key("v") {
+			t.Errorf("keys[%d] does not match pts[%d].Key", i, i)
+		}
+	}
+}
+
+func TestPointsNilAndEmptyBenchmarksMeanFullSuite(t *testing.T) {
+	nilReq := SweepRequest{Useful: []float64{8}}
+	emptyReq := SweepRequest{Useful: []float64{8}, Benchmarks: []string{}}
+	nilPts, nilKeys, err := nilReq.Points("v", Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptyPts, emptyKeys, err := emptyReq.Points("v", Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nilPts) != len(core.BenchmarkNames()) {
+		t.Fatalf("nil benchmarks expanded to %d points, want the full suite (%d)",
+			len(nilPts), len(core.BenchmarkNames()))
+	}
+	if len(nilPts) != len(emptyPts) {
+		t.Fatalf("nil (%d points) and empty (%d points) benchmark lists differ", len(nilPts), len(emptyPts))
+	}
+	for i := range nilKeys {
+		if nilKeys[i] != emptyKeys[i] {
+			t.Fatalf("key %d differs between nil and empty benchmark lists", i)
+		}
+	}
+}
+
+func TestPointsRangeForm(t *testing.T) {
+	req := SweepRequest{UsefulMin: 2, UsefulMax: 8, UsefulStep: 2, Benchmarks: []string{"gcc"}}
+	pts, _, err := req.Points("v", Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []float64
+	for _, p := range pts {
+		got = append(got, p.Useful)
+	}
+	want := []float64{2, 4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("range expanded to %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range expanded to %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPointsSegmentedWindows(t *testing.T) {
+	req := SweepRequest{
+		Useful:       []float64{8},
+		Benchmarks:   []string{"gcc"},
+		Window:       32,
+		WindowStages: []int{1, 2, 4},
+	}
+	pts, keys, err := req.Points("v", Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3 window-stage configs", len(pts))
+	}
+	seen := map[string]bool{}
+	for i, p := range pts {
+		if p.Window != 32 {
+			t.Errorf("point %d window = %d, want 32", i, p.Window)
+		}
+		if seen[keys[i]] {
+			t.Errorf("window-stage configs collided on key %s", keys[i])
+		}
+		seen[keys[i]] = true
+	}
+}
+
+func TestPointsLimits(t *testing.T) {
+	req := SweepRequest{Useful: []float64{2, 4, 6}, Benchmarks: []string{"gcc"}}
+	if _, _, err := req.Points("v", Limits{MaxPoints: 2}); err == nil {
+		t.Error("expansion past MaxPoints did not error")
+	}
+	req = SweepRequest{Useful: []float64{8}, Benchmarks: []string{"gcc"}, Instructions: 50_000}
+	if _, _, err := req.Points("v", Limits{MaxInstructions: 10_000}); err == nil {
+		t.Error("instructions past MaxInstructions did not error")
+	}
+	if _, _, err := req.Points("v", Limits{MaxInstructions: 50_000}); err != nil {
+		t.Errorf("instructions at the limit errored: %v", err)
+	}
+}
+
+func TestPointsCodeVersionChangesKeys(t *testing.T) {
+	req := SweepRequest{Useful: []float64{8}, Benchmarks: []string{"gcc"}}
+	_, k1, err := req.Points("v1", Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k2, err := req.Points("v2", Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1[0] == k2[0] {
+		t.Error("cache key ignores the code version")
+	}
+}

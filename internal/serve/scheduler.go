@@ -1,0 +1,317 @@
+package serve
+
+// The scheduler is the daemon's heart: a content-addressed result cache
+// over single-point simulations, a singleflight registry of in-flight
+// points, and one dispatcher that feeds queued points through the
+// deterministic executor (internal/exec) in batches, one reusable
+// pipeline.Scratch per worker. Concurrent clients asking overlapping
+// grids attach to the same job, so each distinct point simulates at most
+// once per process; a point whose every requester has disconnected is
+// pruned from the queue immediately (or skipped mid-batch through the
+// executor's Skip hook) instead of burning simulation time for nobody.
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// ErrQueueFull is returned by admit when accepting a request's new
+// points would push the queue past its depth limit; the HTTP layer maps
+// it to 429 + Retry-After.
+var ErrQueueFull = errors.New("point queue full")
+
+// errCancelled finalizes a job whose every requester went away before it
+// ran. No client ever observes it (a job with waiters never carries it);
+// it exists so an abandoned job's done channel still closes.
+var errCancelled = errors.New("point cancelled: all requesters disconnected")
+
+// job is one distinct simulation point moving through the scheduler.
+// Exactly one of line/err is set before done closes; both are immutable
+// afterwards. waiters counts the request streams still wanting the
+// result — it is atomic so the executor's Skip hook can read it without
+// taking the scheduler lock mid-batch.
+type job struct {
+	key  string
+	opts core.PointOptions
+
+	done chan struct{}
+	line []byte // the newline-terminated NDJSON result, set before done closes
+	err  error
+
+	waiters atomic.Int32
+	ran     bool // set by the worker that simulated it, read after the batch
+}
+
+// ticket is one point of one request's stream: either already resolved
+// from the cache at admission, or a job to wait on.
+type ticket struct {
+	line []byte
+	job  *job
+}
+
+// scheduler owns the queue, the singleflight registry and the result
+// cache. All three are guarded by mu; the dispatcher goroutine is the
+// only caller of runBatch.
+type scheduler struct {
+	rec         *obs.Recorder
+	workers     int
+	codeVersion string
+	queueLimit  int
+
+	mu       sync.Mutex
+	queue    []*job
+	inflight map[string]*job   // queued or running jobs by key
+	cache    map[string][]byte // finished result lines by key
+	running  int               // jobs in the currently dispatched batch
+
+	wake    chan struct{} // buffered(1): queued work is waiting
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+func newScheduler(workers, queueLimit int, codeVersion string, rec *obs.Recorder) *scheduler {
+	s := &scheduler{
+		rec:         rec,
+		workers:     workers,
+		codeVersion: codeVersion,
+		queueLimit:  queueLimit,
+		inflight:    map[string]*job{},
+		cache:       map[string][]byte{},
+		wake:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+		stopped:     make(chan struct{}),
+	}
+	// The dispatcher is the one goroutine the serving layer owns; every
+	// simulation it dispatches still runs through exec.MapWithState, so
+	// parallel work stays behind the deterministic pool.
+	go s.run() //reprolint:allow goroutinescope: the dispatcher only moves queued jobs into exec.MapWithState batches; all simulation parallelism stays behind the deterministic executor
+	return s
+}
+
+// admit classifies each point of one request against the cache and the
+// in-flight registry, enqueues the genuinely new ones, and returns one
+// ticket per point in request order. keys[i] must be pts[i].Key(version)
+// and the (pts, keys) pair must already be deduplicated. When admitting
+// would push the queue past its depth limit nothing is enqueued and
+// ErrQueueFull is returned.
+func (s *scheduler) admit(pts []core.PointOptions, keys []string) ([]ticket, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	fresh := 0
+	for _, k := range keys {
+		if _, ok := s.cache[k]; ok {
+			continue
+		}
+		if _, ok := s.inflight[k]; ok {
+			continue
+		}
+		fresh++
+	}
+	if s.queueLimit > 0 && len(s.queue)+fresh > s.queueLimit {
+		s.rec.Add("requests_rejected", 1)
+		return nil, ErrQueueFull
+	}
+
+	tickets := make([]ticket, 0, len(pts))
+	for i, k := range keys {
+		if line, ok := s.cache[k]; ok {
+			s.rec.Add("point_cache_hits", 1)
+			tickets = append(tickets, ticket{line: line})
+			continue
+		}
+		if j, ok := s.inflight[k]; ok {
+			// Singleflight join: the simulation is queued or running for
+			// someone else; share it. A join is a hit — the work exists.
+			j.waiters.Add(1)
+			s.rec.Add("point_cache_hits", 1)
+			s.rec.Add("dedup_joins", 1)
+			tickets = append(tickets, ticket{job: j})
+			continue
+		}
+		j := &job{key: k, opts: pts[i], done: make(chan struct{})}
+		j.waiters.Add(1)
+		s.inflight[k] = j
+		s.queue = append(s.queue, j)
+		s.rec.Add("point_cache_misses", 1)
+		tickets = append(tickets, ticket{job: j})
+	}
+
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return tickets, nil
+}
+
+// release detaches one request from the tickets it never consumed (the
+// client disconnected mid-stream). Queued jobs nobody else wants are
+// pruned immediately; running ones are left for the executor's Skip hook
+// and the post-batch sweep.
+func (s *scheduler) release(tickets []ticket) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range tickets {
+		if t.job == nil {
+			continue
+		}
+		t.job.waiters.Add(-1)
+	}
+	kept := s.queue[:0]
+	for _, j := range s.queue {
+		if j.waiters.Load() > 0 {
+			kept = append(kept, j)
+			continue
+		}
+		delete(s.inflight, j.key)
+		j.err = errCancelled
+		close(j.done)
+		s.rec.Add("points_dropped", 1)
+	}
+	s.queue = kept
+}
+
+// takeBatch claims every queued job that still has a waiter. Called by
+// the dispatcher only.
+func (s *scheduler) takeBatch() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	batch := make([]*job, 0, len(s.queue))
+	for _, j := range s.queue {
+		if j.waiters.Load() <= 0 { // release prunes these; belt and braces
+			delete(s.inflight, j.key)
+			j.err = errCancelled
+			close(j.done)
+			s.rec.Add("points_dropped", 1)
+			continue
+		}
+		batch = append(batch, j)
+	}
+	s.queue = s.queue[:0]
+	s.running += len(batch)
+	return batch
+}
+
+// runBatch simulates one batch on the deterministic executor, one
+// reusable Scratch per worker. Each job finalizes (cache write + done
+// close) the moment its point completes, so request streams advance
+// while the batch is still running; jobs whose waiters all vanished are
+// skipped by the executor and either requeued (a new waiter attached in
+// the window before the skip) or dropped.
+func (s *scheduler) runBatch(batch []*job) {
+	pool := exec.Pool{
+		Workers:     s.workers,
+		OnTaskStart: s.rec.TaskStart,
+		OnTaskDone:  s.rec.TaskDone,
+		Skip:        func(i int) bool { return batch[i].waiters.Load() <= 0 },
+	}
+	exec.MapWithState(pool, batch, pipeline.NewScratch,
+		func(sc *pipeline.Scratch, _ int, j *job) struct{} {
+			j.ran = true
+			res, err := core.SimulatePointWith(j.opts, sc, s.rec)
+			if err != nil {
+				// Points are validated at admission, so this is a
+				// should-not-happen guard; surface it on the stream.
+				j.err = err
+				s.finalize(j, nil)
+				return struct{}{}
+			}
+			line, merr := json.Marshal(newPointResult(j.key, j.opts, res))
+			if merr != nil {
+				j.err = merr
+				s.finalize(j, nil)
+				return struct{}{}
+			}
+			// The newline is part of the cached line: the slice is shared
+			// by every stream that hits this point, so it must never be
+			// appended to after it leaves this worker.
+			line = append(line, '\n')
+			s.rec.Add("simulations", 1)
+			s.rec.Add("wakeup_wakes", int64(res.Stats.WakeupWakes))
+			s.rec.Add("wakeup_scanned", int64(res.Stats.WakeupScanned))
+			s.finalize(j, line)
+			return struct{}{}
+		})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running -= len(batch)
+	for _, j := range batch {
+		if j.ran {
+			continue
+		}
+		if j.waiters.Load() > 0 {
+			// A new request attached while the batch was skipping it:
+			// put it back in line rather than failing the newcomer (the
+			// dispatcher's drain loop picks it up on its next pass).
+			s.queue = append(s.queue, j)
+			continue
+		}
+		delete(s.inflight, j.key)
+		j.err = errCancelled
+		close(j.done)
+		s.rec.Add("points_dropped", 1)
+	}
+}
+
+// finalize publishes one completed job: result cached (on success),
+// registry entry retired, waiters woken.
+func (s *scheduler) finalize(j *job, line []byte) {
+	s.mu.Lock()
+	if line != nil {
+		j.line = line
+		s.cache[j.key] = line
+		s.rec.Add("points_done", 1)
+	}
+	delete(s.inflight, j.key)
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// run is the dispatcher loop: drain the queue batch by batch whenever
+// woken; on stop, finish whatever is already admitted (the HTTP layer
+// has stopped admitting by then) so draining streams complete, then
+// exit.
+func (s *scheduler) run() {
+	defer close(s.stopped)
+	for {
+		select {
+		case <-s.stop:
+			s.drainQueue()
+			return
+		case <-s.wake:
+			s.drainQueue()
+		}
+	}
+}
+
+func (s *scheduler) drainQueue() {
+	for {
+		batch := s.takeBatch()
+		if len(batch) == 0 {
+			return
+		}
+		s.runBatch(batch)
+	}
+}
+
+// close stops the dispatcher after it finishes every admitted job and
+// waits for it to exit. Safe to call once.
+func (s *scheduler) close() {
+	close(s.stop)
+	<-s.stopped
+}
+
+// gauges reports the live queue state for /healthz and /stats.
+func (s *scheduler) gauges() (queued, running, cacheSize int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), s.running, len(s.cache)
+}

@@ -1,0 +1,316 @@
+// Package serve is the sweep-serving daemon behind cmd/sweepd: a
+// long-running HTTP front end over the simulation library. Clients POST
+// sweep grids to /sweep; the server decomposes them into per-point
+// tasks, serves repeats from a content-addressed result cache keyed by
+// the canonical point hash (core.PointOptions.Key), deduplicates
+// concurrent identical points singleflight-style, and runs the rest
+// through the deterministic executor with one reusable pipeline.Scratch
+// per worker. Results stream back as NDJSON as points complete.
+//
+// Operational contract:
+//
+//   - Admission is bounded: a request whose new points would overflow
+//     the queue-depth limit is rejected with 429 and a Retry-After
+//     header, before anything is enqueued.
+//   - A client that disconnects mid-stream releases its claim on every
+//     unconsumed point; points nobody else wants are dropped from the
+//     queue immediately (or skipped by the executor if a batch already
+//     holds them) rather than simulated for nobody.
+//   - Shutdown is graceful: BeginDrain stops admitting, in-flight
+//     streams run to completion, Close waits for the dispatcher.
+//   - /healthz and /stats expose the cache hit ratio, queue depth,
+//     in-flight point count and the run's telemetry snapshot (including
+//     the simulator's wakeup counters) via internal/obs.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Config sizes one Server. The zero value is a sensible daemon: all-CPU
+// simulation workers, a 4096-point queue, 1024 points per request.
+type Config struct {
+	// Workers sizes the simulation pool per batch: 0 = GOMAXPROCS,
+	// 1 = serial (exec.Pool semantics).
+	Workers int
+
+	// QueueLimit bounds admitted-but-unstarted points; 0 means 4096.
+	// Admission past the limit fails with 429 + Retry-After.
+	QueueLimit int
+
+	// MaxPointsPerRequest bounds one request's expansion; 0 means 1024.
+	MaxPointsPerRequest int
+
+	// MaxInstructions bounds the per-trace instruction count a request
+	// may ask for; 0 means 1_000_000.
+	MaxInstructions int
+
+	// CodeVersion is mixed into every cache key so results are content-
+	// addressed across simulator versions; "" resolves the build's VCS
+	// revision (falling back to "dev").
+	CodeVersion string
+
+	// Rec receives the server's telemetry; nil means a private recorder.
+	Rec *obs.Recorder
+
+	// Log receives request-level events; nil means slog.Default.
+	Log *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueLimit == 0 {
+		c.QueueLimit = 4096
+	}
+	if c.MaxPointsPerRequest == 0 {
+		c.MaxPointsPerRequest = 1024
+	}
+	if c.MaxInstructions == 0 {
+		c.MaxInstructions = 1_000_000
+	}
+	if c.CodeVersion == "" {
+		c.CodeVersion = buildVersion()
+	}
+	if c.Rec == nil {
+		c.Rec = obs.New(nil)
+	}
+	if c.Log == nil {
+		c.Log = slog.Default()
+	}
+	return c
+}
+
+// buildVersion resolves the binary's VCS revision for cache keying.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	return "dev"
+}
+
+// Server is the daemon: an http.Handler plus the scheduler behind it.
+type Server struct {
+	cfg      Config
+	rec      *obs.Recorder
+	sched    *scheduler
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New builds a Server and starts its dispatcher. Callers must Close it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		rec:   cfg.Rec,
+		sched: newScheduler(cfg.Workers, cfg.QueueLimit, cfg.CodeVersion, cfg.Rec),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/sweep", s.handleSweep)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP makes the Server mountable directly into http.Server and
+// httptest.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// BeginDrain stops admitting new sweeps (503) while letting accepted
+// streams finish; /healthz starts reporting "draining". Idempotent.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+}
+
+// Close drains the scheduler (every already-admitted point completes or
+// is dropped) and stops the dispatcher. Call after the HTTP listener has
+// stopped accepting work — http.Server.Shutdown ordering in cmd/sweepd.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.sched.close()
+}
+
+// errorJSON writes a JSON error body with the given status.
+func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSweep is POST /sweep: expand, admit, stream.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		errorJSON(w, http.StatusMethodNotAllowed, "POST a sweep request body to /sweep")
+		return
+	}
+	if s.draining.Load() {
+		errorJSON(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	pts, keys, err := req.Points(s.cfg.CodeVersion, Limits{
+		MaxPoints:       s.cfg.MaxPointsPerRequest,
+		MaxInstructions: s.cfg.MaxInstructions,
+	})
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	tickets, err := s.sched.admit(pts, keys)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		errorJSON(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	s.rec.Add("requests", 1)
+	s.cfg.Log.Debug("sweep admitted", "points", len(pts))
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	ctx := r.Context()
+
+	for i, t := range tickets {
+		line := t.line
+		if t.job != nil {
+			select {
+			case <-t.job.done:
+				if t.job.err != nil {
+					// Validated points only fail on should-never-happen
+					// internal errors; surface them without caching.
+					s.streamError(w, flusher, t.job.key, t.job.err)
+					continue
+				}
+				line = t.job.line
+			case <-ctx.Done():
+				s.disconnect(tickets[i:])
+				return
+			}
+		}
+		// line is newline-terminated and shared across streams; it must be
+		// written as-is, never appended to.
+		if _, err := w.Write(line); err != nil {
+			s.disconnect(tickets[i+1:])
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// Trailer: lets clients distinguish a complete stream from a dropped
+	// connection. Deliberately free of timing or cache provenance so the
+	// whole response body is identical for identical requests.
+	fmt.Fprintf(w, "{\"done\":true,\"points\":%d}\n", len(tickets))
+}
+
+// streamError emits a non-cached error line for one point.
+func (s *Server) streamError(w http.ResponseWriter, flusher http.Flusher, key string, err error) {
+	line, _ := json.Marshal(map[string]string{"key": key, "error": err.Error()})
+	w.Write(append(line, '\n'))
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// disconnect releases every unconsumed ticket of a request whose client
+// went away.
+func (s *Server) disconnect(remaining []ticket) {
+	s.sched.release(remaining)
+	s.rec.Add("client_disconnects", 1)
+	s.cfg.Log.Debug("client disconnected", "released", len(remaining))
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status     string `json:"status"` // "ok" or "draining"
+	QueueDepth int    `json:"queue_depth"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, _, _ := s.sched.gauges()
+	h := Health{Status: "ok", QueueDepth: queued}
+	status := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(h)
+}
+
+// Stats is the /stats body: live queue gauges, the point cache's hit
+// economy, and the full telemetry snapshot (which carries the
+// simulator's wakeup_wakes/wakeup_scanned counters and per-task
+// timings).
+type Stats struct {
+	QueueDepth     int `json:"queue_depth"`
+	RunningPoints  int `json:"running_points"`
+	InflightPoints int `json:"inflight_points"` // queued + running
+
+	CacheSize     int     `json:"cache_size"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	DedupJoins    int64   `json:"dedup_joins"`
+
+	Requests      int64 `json:"requests"`
+	Rejected      int64 `json:"requests_rejected"`
+	Disconnects   int64 `json:"client_disconnects"`
+	PointsDone    int64 `json:"points_done"`
+	PointsDropped int64 `json:"points_dropped"`
+
+	Telemetry obs.Snapshot `json:"telemetry"`
+}
+
+// StatsSnapshot assembles the current Stats; exported so tests and
+// embedding binaries can read it without HTTP.
+func (s *Server) StatsSnapshot() Stats {
+	queued, running, cacheSize := s.sched.gauges()
+	st := Stats{
+		QueueDepth:     queued,
+		RunningPoints:  running,
+		InflightPoints: queued + running,
+		CacheSize:      cacheSize,
+		CacheHits:      s.rec.Counter("point_cache_hits"),
+		CacheMisses:    s.rec.Counter("point_cache_misses"),
+		DedupJoins:     s.rec.Counter("dedup_joins"),
+		Requests:       s.rec.Counter("requests"),
+		Rejected:       s.rec.Counter("requests_rejected"),
+		Disconnects:    s.rec.Counter("client_disconnects"),
+		PointsDone:     s.rec.Counter("points_done"),
+		PointsDropped:  s.rec.Counter("points_dropped"),
+		Telemetry:      s.rec.Snapshot(),
+	}
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		st.CacheHitRatio = float64(st.CacheHits) / float64(total)
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.StatsSnapshot())
+}
