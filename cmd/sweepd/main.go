@@ -43,12 +43,14 @@ func main() {
 	run.SetConfig("queue", *sv.Queue)
 	run.SetConfig("max_points", *sv.MaxPoints)
 	run.SetConfig("max_instructions", *sv.MaxInstructions)
+	run.SetConfig("cache", *sv.Cache)
 
 	srv := serve.New(serve.Config{
 		Workers:             *sv.Workers,
 		QueueLimit:          *sv.Queue,
 		MaxPointsPerRequest: *sv.MaxPoints,
 		MaxInstructions:     *sv.MaxInstructions,
+		CacheLimit:          *sv.Cache,
 		Rec:                 run.Recorder(),
 		Log:                 run.Log,
 	})

@@ -93,6 +93,7 @@ type Srv struct {
 	Queue           *int
 	MaxPoints       *int
 	MaxInstructions *int
+	Cache           *int
 	DrainTimeout    *time.Duration
 }
 
@@ -110,6 +111,7 @@ func RegisterServeOn(fs *flag.FlagSet) *Srv {
 		Queue:           fs.Int("queue", 4096, "max queued sweep points before requests get 429"),
 		MaxPoints:       fs.Int("max-points", 1024, "max distinct points one request may expand to"),
 		MaxInstructions: fs.Int("max-instructions", 1_000_000, "max instructions per trace a request may ask for"),
+		Cache:           fs.Int("cache", 16384, "max cached point results before LRU eviction (-1 = unbounded)"),
 		DrainTimeout:    fs.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight streams"),
 	}
 }
@@ -130,6 +132,9 @@ func (s *Srv) Validate() error {
 	}
 	if *s.MaxInstructions <= 0 {
 		return fmt.Errorf("-max-instructions must be positive, got %d", *s.MaxInstructions)
+	}
+	if *s.Cache <= 0 && *s.Cache != -1 {
+		return fmt.Errorf("-cache must be positive or -1 for unbounded, got %d", *s.Cache)
 	}
 	if *s.DrainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", *s.DrainTimeout)

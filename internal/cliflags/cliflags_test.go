@@ -155,6 +155,8 @@ func TestSrvValidation(t *testing.T) {
 		{"zero queue", func(s *Srv) { *s.Queue = 0 }, "-queue must be positive"},
 		{"zero max points", func(s *Srv) { *s.MaxPoints = 0 }, "-max-points must be positive"},
 		{"zero max instructions", func(s *Srv) { *s.MaxInstructions = 0 }, "-max-instructions must be positive"},
+		{"zero cache", func(s *Srv) { *s.Cache = 0 }, "-cache must be positive"},
+		{"unbounded cache", func(s *Srv) { *s.Cache = -1 }, ""},
 		{"zero drain timeout", func(s *Srv) { *s.DrainTimeout = 0 }, "-drain-timeout must be positive"},
 	}
 	for _, c := range cases {

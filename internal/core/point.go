@@ -143,6 +143,12 @@ func (o PointOptions) Normalize() PointOptions {
 	return o
 }
 
+// MaxUseful is the deepest useful-logic-per-stage value a point may ask
+// for, in FO4. The paper's grid tops out at 16; 64 leaves generous
+// headroom for shallow-pipeline studies while keeping request expansion
+// bounded.
+const MaxUseful = 64
+
 // Validate checks a normalized PointOptions; it reports the first
 // problem in request-diagnostic form. Callers that accept external input
 // should Normalize first (Key and the Simulate entry points do both).
@@ -153,8 +159,8 @@ func (o PointOptions) Validate() error {
 	if _, ok := ProfileByName(o.Benchmark); !ok {
 		return fmt.Errorf("unknown benchmark %q (run traceinfo for the Table 2 suite)", o.Benchmark)
 	}
-	if o.Useful <= 0 || o.Useful > 64 {
-		return fmt.Errorf("useful must be in (0, 64] FO4, got %g", o.Useful)
+	if o.Useful <= 0 || o.Useful > MaxUseful {
+		return fmt.Errorf("useful must be in (0, %d] FO4, got %g", MaxUseful, o.Useful)
 	}
 	if o.Instructions <= 0 {
 		return fmt.Errorf("instructions must be positive, got %d", o.Instructions)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/core"
@@ -79,6 +80,63 @@ func TestPointsRangeForm(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("range expanded to %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPointsRangeEndpointIncluded pins index-based grid generation: a
+// fractional step must not drift past (and silently drop) the inclusive
+// endpoint, and the values must be reproducible run to run.
+func TestPointsRangeEndpointIncluded(t *testing.T) {
+	req := SweepRequest{UsefulMin: 2, UsefulMax: 16, UsefulStep: 0.1, Benchmarks: []string{"gcc"}}
+	pts, _, err := req.Points("v", Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 141 {
+		t.Fatalf("2..16 by 0.1 expanded to %d points, want 141", len(pts))
+	}
+	if first, last := pts[0].Useful, pts[len(pts)-1].Useful; first != 2 || last != 16 {
+		t.Fatalf("grid spans [%g, %g], want [2, 16] inclusive", first, last)
+	}
+	again, _, err := req.Points("v", Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if pts[i].Useful != again[i].Useful {
+			t.Fatalf("point %d not reproducible: %g vs %g", i, pts[i].Useful, again[i].Useful)
+		}
+	}
+}
+
+// TestPointsRangeBoundedBeforeExpansion is the admission-DoS contract:
+// a hostile min/max/step combination must be rejected by arithmetic on
+// the range itself — never by iterating it. Each case must return an
+// error promptly without allocating the grid.
+func TestPointsRangeBoundedBeforeExpansion(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		req  SweepRequest
+	}{
+		// A denormal step never advances min (1 + 5e-324 == 1): the old
+		// accumulation loop span forever.
+		{"step smaller than one ULP", SweepRequest{UsefulMin: 1, UsefulMax: 64, UsefulStep: 5e-324}},
+		// A huge max used to iterate (and append) until OOM; now it must
+		// fail the per-point Useful bound before any expansion.
+		{"max beyond the point bound", SweepRequest{UsefulMin: 1, UsefulMax: 1e18}},
+		// In-bounds endpoints whose count still exceeds the point limit.
+		{"too many points", SweepRequest{UsefulMin: 1, UsefulMax: 64, UsefulStep: 1e-9}},
+		{"NaN min", SweepRequest{UsefulMin: nan, UsefulMax: 8}},
+		{"NaN max", SweepRequest{UsefulMin: 2, UsefulMax: nan}},
+		{"NaN step", SweepRequest{UsefulMin: 2, UsefulMax: 8, UsefulStep: nan}},
+		{"negative step", SweepRequest{UsefulMin: 2, UsefulMax: 8, UsefulStep: -1}},
+	}
+	for _, c := range cases {
+		c.req.Benchmarks = []string{"gcc"}
+		if _, _, err := c.req.Points("v", Limits{MaxPoints: 1024}); err == nil {
+			t.Errorf("%s: expansion did not error", c.name)
 		}
 	}
 }

@@ -11,6 +11,7 @@ package serve
 // executor's Skip hook) instead of burning simulation time for nobody.
 
 import (
+	"container/list"
 	"encoding/json"
 	"errors"
 	"sync"
@@ -26,6 +27,11 @@ import (
 // points would push the queue past its depth limit; the HTTP layer maps
 // it to 429 + Retry-After.
 var ErrQueueFull = errors.New("point queue full")
+
+// ErrStopped is returned by admit once close has begun: the dispatcher
+// may already have drained for the last time, so enqueueing would strand
+// the request forever. The HTTP layer maps it to 503.
+var ErrStopped = errors.New("scheduler stopped")
 
 // errCancelled finalizes a job whose every requester went away before it
 // ran. No client ever observes it (a job with waiters never carries it);
@@ -56,34 +62,53 @@ type ticket struct {
 	job  *job
 }
 
+// cacheEntry is one finished result line in the LRU list; the element's
+// Value is *cacheEntry.
+type cacheEntry struct {
+	key  string
+	line []byte
+}
+
 // scheduler owns the queue, the singleflight registry and the result
 // cache. All three are guarded by mu; the dispatcher goroutine is the
 // only caller of runBatch.
+//
+// The cache is a bounded LRU: cache keys span an unbounded input space
+// (any seed, any instruction count), so without eviction a long-running
+// daemon accumulates result lines until memory exhaustion. cacheLimit
+// caps the entry count; lru orders entries most-recently-used first and
+// cacheBytes tracks the resident line bytes for /stats.
 type scheduler struct {
 	rec         *obs.Recorder
 	workers     int
 	codeVersion string
 	queueLimit  int
+	cacheLimit  int // max cached lines; <= 0 means unbounded
 
-	mu       sync.Mutex
-	queue    []*job
-	inflight map[string]*job   // queued or running jobs by key
-	cache    map[string][]byte // finished result lines by key
-	running  int               // jobs in the currently dispatched batch
+	mu         sync.Mutex
+	queue      []*job
+	inflight   map[string]*job          // queued or running jobs by key
+	cache      map[string]*list.Element // finished result lines by key, values *cacheEntry
+	lru        *list.List               // front = most recently used
+	cacheBytes int64
+	running    int // jobs in the currently dispatched batch
+	closing    bool
 
 	wake    chan struct{} // buffered(1): queued work is waiting
 	stop    chan struct{}
 	stopped chan struct{}
 }
 
-func newScheduler(workers, queueLimit int, codeVersion string, rec *obs.Recorder) *scheduler {
+func newScheduler(workers, queueLimit, cacheLimit int, codeVersion string, rec *obs.Recorder) *scheduler {
 	s := &scheduler{
 		rec:         rec,
 		workers:     workers,
 		codeVersion: codeVersion,
 		queueLimit:  queueLimit,
+		cacheLimit:  cacheLimit,
 		inflight:    map[string]*job{},
-		cache:       map[string][]byte{},
+		cache:       map[string]*list.Element{},
+		lru:         list.New(),
 		wake:        make(chan struct{}, 1),
 		stop:        make(chan struct{}),
 		stopped:     make(chan struct{}),
@@ -105,6 +130,12 @@ func (s *scheduler) admit(pts []core.PointOptions, keys []string) ([]ticket, err
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	if s.closing {
+		// close() may already have run the dispatcher's final drain;
+		// enqueueing now would block the caller on a job nobody will run.
+		return nil, ErrStopped
+	}
+
 	fresh := 0
 	for _, k := range keys {
 		if _, ok := s.cache[k]; ok {
@@ -122,9 +153,10 @@ func (s *scheduler) admit(pts []core.PointOptions, keys []string) ([]ticket, err
 
 	tickets := make([]ticket, 0, len(pts))
 	for i, k := range keys {
-		if line, ok := s.cache[k]; ok {
+		if e, ok := s.cache[k]; ok {
+			s.lru.MoveToFront(e)
 			s.rec.Add("point_cache_hits", 1)
-			tickets = append(tickets, ticket{line: line})
+			tickets = append(tickets, ticket{line: e.Value.(*cacheEntry).line})
 			continue
 		}
 		if j, ok := s.inflight[k]; ok {
@@ -267,12 +299,35 @@ func (s *scheduler) finalize(j *job, line []byte) {
 	s.mu.Lock()
 	if line != nil {
 		j.line = line
-		s.cache[j.key] = line
+		s.cacheInsert(j.key, line)
 		s.rec.Add("points_done", 1)
 	}
 	delete(s.inflight, j.key)
 	s.mu.Unlock()
 	close(j.done)
+}
+
+// cacheInsert stores one finished line and evicts least-recently-used
+// entries past the cache bound. Caller holds mu. Eviction never touches
+// a live stream: streams hold the line slice (or the job) directly, so
+// dropping the cache entry only means a future request re-simulates.
+func (s *scheduler) cacheInsert(key string, line []byte) {
+	if e, ok := s.cache[key]; ok {
+		// Singleflight keeps one job per key, so a resident entry here
+		// should be impossible; keep it rather than double-count bytes.
+		s.lru.MoveToFront(e)
+		return
+	}
+	s.cache[key] = s.lru.PushFront(&cacheEntry{key: key, line: line})
+	s.cacheBytes += int64(len(line))
+	for s.cacheLimit > 0 && s.lru.Len() > s.cacheLimit {
+		oldest := s.lru.Back()
+		ent := oldest.Value.(*cacheEntry)
+		s.lru.Remove(oldest)
+		delete(s.cache, ent.key)
+		s.cacheBytes -= int64(len(ent.line))
+		s.rec.Add("cache_evictions", 1)
+	}
 }
 
 // run is the dispatcher loop: drain the queue batch by batch whenever
@@ -303,15 +358,22 @@ func (s *scheduler) drainQueue() {
 }
 
 // close stops the dispatcher after it finishes every admitted job and
-// waits for it to exit. Safe to call once.
+// waits for it to exit. Safe to call once. Setting closing under mu
+// before closing stop orders every admit against the final drain: an
+// admit that saw closing==false finished enqueueing before close(s.stop),
+// so the dispatcher's last drainQueue still picks its jobs up; any later
+// admit fails with ErrStopped instead of stranding its caller.
 func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
 	close(s.stop)
 	<-s.stopped
 }
 
-// gauges reports the live queue state for /healthz and /stats.
-func (s *scheduler) gauges() (queued, running, cacheSize int) {
+// gauges reports the live queue and cache state for /healthz and /stats.
+func (s *scheduler) gauges() (queued, running, cacheSize int, cacheBytes int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue), s.running, len(s.cache)
+	return len(s.queue), s.running, len(s.cache), s.cacheBytes
 }

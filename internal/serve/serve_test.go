@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -132,6 +133,9 @@ func TestSweepValidation(t *testing.T) {
 		{"unknown benchmark", `{"useful":[8],"benchmarks":["nope"]}`, http.StatusBadRequest},
 		{"unknown machine", `{"useful":[8],"machine":"quantum"}`, http.StatusBadRequest},
 		{"bad range", `{"useful_min":8,"useful_max":4}`, http.StatusBadRequest},
+		{"range step below one ULP", `{"useful_min":1,"useful_max":64,"useful_step":5e-324}`, http.StatusBadRequest},
+		{"range max beyond point bound", `{"useful_min":1,"useful_max":1e18}`, http.StatusBadRequest},
+		{"range expands past limit", `{"useful_min":1,"useful_max":64,"useful_step":1e-9}`, http.StatusBadRequest},
 		{"stages without window", `{"useful":[8],"window_stages":[4]}`, http.StatusBadRequest},
 		{"too many points", `{"useful":[2,3,4,5,6],"benchmarks":["gcc","swim"]}`, http.StatusBadRequest},
 		{"instructions over limit", `{"useful":[8],"instructions":2000000}`, http.StatusBadRequest},
@@ -366,6 +370,62 @@ func TestHealthzAndDrain(t *testing.T) {
 	sweep.Body.Close()
 	if sweep.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("draining sweep status = %d, want 503", sweep.StatusCode)
+	}
+}
+
+// TestCacheEvictionBoundsMemory pins the LRU contract: the result cache
+// never holds more than CacheLimit lines, evictions are counted, and an
+// evicted point re-simulates on the next request instead of erroring.
+func TestCacheEvictionBoundsMemory(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, CacheLimit: 2})
+
+	resp := postSweep(t, ts.URL, `{"useful":[4,6,8],"benchmarks":["gcc"],"instructions":4000}`)
+	lines, _ := readStream(t, resp)
+	if len(lines) != 3 {
+		t.Fatalf("got %d points, want 3", len(lines))
+	}
+	st := srv.StatsSnapshot()
+	if st.CacheSize != 2 {
+		t.Fatalf("cache size = %d, want 2 (CacheLimit)", st.CacheSize)
+	}
+	if st.CacheEvictions != 1 {
+		t.Fatalf("cache evictions = %d, want 1 (3 results into a 2-entry cache)", st.CacheEvictions)
+	}
+	if st.CacheBytes <= 0 {
+		t.Fatalf("cache bytes = %d, want > 0 while entries are resident", st.CacheBytes)
+	}
+
+	// Re-request the full grid: the evicted point must simulate again and
+	// the response must be byte-identical to the first pass.
+	resp = postSweep(t, ts.URL, `{"useful":[4,6,8],"benchmarks":["gcc"],"instructions":4000}`)
+	again, _ := readStream(t, resp)
+	if fmt.Sprint(lines) != fmt.Sprint(again) {
+		t.Fatal("post-eviction re-request differs from the original")
+	}
+	after := srv.StatsSnapshot()
+	if after.PointsDone != st.PointsDone+1 {
+		t.Fatalf("points done %d -> %d, want exactly one re-simulation of the evicted point",
+			st.PointsDone, after.PointsDone)
+	}
+	if after.CacheSize != 2 {
+		t.Fatalf("cache size = %d after re-request, want 2", after.CacheSize)
+	}
+}
+
+// TestAdmitAfterCloseFailsFast pins the shutdown race: an admit that
+// loses the race against Close must be refused (ErrStopped), never
+// enqueued behind a dispatcher that has already drained for the last
+// time — that would strand the caller on a done channel forever.
+func TestAdmitAfterCloseFailsFast(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	req := SweepRequest{Useful: []float64{8}, Benchmarks: []string{"gcc"}, Instructions: 4000}
+	pts, keys, err := req.Points(srv.cfg.CodeVersion, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := srv.sched.admit(pts, keys); !errors.Is(err, ErrStopped) {
+		t.Fatalf("admit after close: err = %v, want ErrStopped", err)
 	}
 }
 

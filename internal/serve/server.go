@@ -11,7 +11,13 @@
 //
 //   - Admission is bounded: a request whose new points would overflow
 //     the queue-depth limit is rejected with 429 and a Retry-After
-//     header, before anything is enqueued.
+//     header, before anything is enqueued — and grid ranges are bounds-
+//     checked before expansion, so no request body can make the server
+//     materialize (or loop over) more points than the per-request limit.
+//   - The result cache is bounded: cache keys span an unbounded input
+//     space (any seed, any instruction count), so least-recently-used
+//     lines are evicted past CacheLimit; /stats exposes cache_bytes and
+//     cache_evictions so operators can watch the economy.
 //   - A client that disconnects mid-stream releases its claim on every
 //     unconsumed point; points nobody else wants are dropped from the
 //     queue immediately (or skipped by the executor if a batch already
@@ -25,6 +31,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -52,6 +59,13 @@ type Config struct {
 	// may ask for; 0 means 1_000_000.
 	MaxInstructions int
 
+	// CacheLimit bounds the result cache's entry count; least-recently-
+	// used lines are evicted past it (counted as cache_evictions in
+	// /stats). 0 means 16384 entries; negative means unbounded — cache
+	// keys span an unbounded input space, so only use that when the
+	// client population is known to be closed.
+	CacheLimit int
+
 	// CodeVersion is mixed into every cache key so results are content-
 	// addressed across simulator versions; "" resolves the build's VCS
 	// revision (falling back to "dev").
@@ -73,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxInstructions == 0 {
 		c.MaxInstructions = 1_000_000
+	}
+	if c.CacheLimit == 0 {
+		c.CacheLimit = 16384
 	}
 	if c.CodeVersion == "" {
 		c.CodeVersion = buildVersion()
@@ -113,7 +130,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		rec:   cfg.Rec,
-		sched: newScheduler(cfg.Workers, cfg.QueueLimit, cfg.CodeVersion, cfg.Rec),
+		sched: newScheduler(cfg.Workers, cfg.QueueLimit, cfg.CacheLimit, cfg.CodeVersion, cfg.Rec),
 		mux:   http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/sweep", s.handleSweep)
@@ -177,9 +194,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	tickets, err := s.sched.admit(pts, keys)
-	if err != nil {
+	if errors.Is(err, ErrQueueFull) {
 		w.Header().Set("Retry-After", "1")
 		errorJSON(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	if err != nil {
+		// ErrStopped: Close won the race against this request's draining
+		// check; the dispatcher is gone, so admit refused the points.
+		errorJSON(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	s.rec.Add("requests", 1)
@@ -247,7 +270,7 @@ type Health struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	queued, _, _ := s.sched.gauges()
+	queued, _, _, _ := s.sched.gauges()
 	h := Health{Status: "ok", QueueDepth: queued}
 	status := http.StatusOK
 	if s.draining.Load() {
@@ -268,11 +291,13 @@ type Stats struct {
 	RunningPoints  int `json:"running_points"`
 	InflightPoints int `json:"inflight_points"` // queued + running
 
-	CacheSize     int     `json:"cache_size"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	CacheHitRatio float64 `json:"cache_hit_ratio"`
-	DedupJoins    int64   `json:"dedup_joins"`
+	CacheSize      int     `json:"cache_size"`
+	CacheBytes     int64   `json:"cache_bytes"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	DedupJoins     int64   `json:"dedup_joins"`
 
 	Requests      int64 `json:"requests"`
 	Rejected      int64 `json:"requests_rejected"`
@@ -286,14 +311,16 @@ type Stats struct {
 // StatsSnapshot assembles the current Stats; exported so tests and
 // embedding binaries can read it without HTTP.
 func (s *Server) StatsSnapshot() Stats {
-	queued, running, cacheSize := s.sched.gauges()
+	queued, running, cacheSize, cacheBytes := s.sched.gauges()
 	st := Stats{
 		QueueDepth:     queued,
 		RunningPoints:  running,
 		InflightPoints: queued + running,
 		CacheSize:      cacheSize,
+		CacheBytes:     cacheBytes,
 		CacheHits:      s.rec.Counter("point_cache_hits"),
 		CacheMisses:    s.rec.Counter("point_cache_misses"),
+		CacheEvictions: s.rec.Counter("cache_evictions"),
 		DedupJoins:     s.rec.Counter("dedup_joins"),
 		Requests:       s.rec.Counter("requests"),
 		Rejected:       s.rec.Counter("requests_rejected"),
