@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fuzz-smoke bench-smoke bench-compare telemetry-smoke serve-smoke cover profile check
+.PHONY: build test race vet lint fuzz-smoke bench-smoke bench-compare telemetry-smoke serve-smoke store-smoke cover profile check
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,45 @@ serve-smoke:
 	curl -fsS http://127.0.0.1:$(SERVE_PORT)/stats | grep -q '"points_done": 1'; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "serve-smoke: one point served, clean shutdown"
+
+# Persistence smoke: boot the daemon with a durable -store, sweep one
+# grid, SIGKILL it (no drain, no final sync), reboot over the same
+# directory, and assert the restarted daemon serves byte-identical
+# results with zero simulations (warm hits only). The in-process and
+# test-binary equivalents live in internal/store, internal/serve and
+# internal/clitest; this drives the real binary the way an operator
+# restart would.
+STORE_PORT ?= 18735
+
+store-smoke:
+	$(GO) build -o /tmp/sweepd ./cmd/sweepd
+	@set -e; \
+	store=$$(mktemp -d /tmp/sweepd-store.XXXXXX); \
+	/tmp/sweepd -addr 127.0.0.1:$(STORE_PORT) -workers 1 -store $$store 2>/tmp/sweepd-store.log & pid=$$!; \
+	trap 'kill -9 $$pid 2>/dev/null || true; rm -rf $$store' EXIT; \
+	ok=; for i in $$(seq 1 100); do \
+		if curl -fsS http://127.0.0.1:$(STORE_PORT)/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	test -n "$$ok" || { echo "store-smoke: daemon never became healthy"; cat /tmp/sweepd-store.log; exit 1; }; \
+	curl -fsS -X POST --data '{"useful":[6,8],"benchmarks":["gcc"],"instructions":5000}' \
+		http://127.0.0.1:$(STORE_PORT)/sweep > /tmp/sweep_before.ndjson; \
+	grep -q '"done":true' /tmp/sweep_before.ndjson; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	/tmp/sweepd -addr 127.0.0.1:$(STORE_PORT) -workers 1 -store $$store 2>>/tmp/sweepd-store.log & pid=$$!; \
+	ok=; for i in $$(seq 1 100); do \
+		if curl -fsS http://127.0.0.1:$(STORE_PORT)/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	test -n "$$ok" || { echo "store-smoke: daemon never came back"; cat /tmp/sweepd-store.log; exit 1; }; \
+	curl -fsS -X POST --data '{"useful":[6,8],"benchmarks":["gcc"],"instructions":5000}' \
+		http://127.0.0.1:$(STORE_PORT)/sweep > /tmp/sweep_after.ndjson; \
+	diff /tmp/sweep_before.ndjson /tmp/sweep_after.ndjson; \
+	curl -fsS http://127.0.0.1:$(STORE_PORT)/stats > /tmp/store_stats.json; \
+	grep -q '"points_done": 0' /tmp/store_stats.json; \
+	grep -q '"warm_hits": 2' /tmp/store_stats.json; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "store-smoke: warm restart served identical bytes, zero re-simulations"
 
 # Coverage with a ratchet floor: the gate trips when total statement
 # coverage falls below COVER_MIN (set just under the current baseline;

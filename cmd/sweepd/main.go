@@ -4,17 +4,24 @@
 // overlapping grids from concurrent clients share simulation work
 // through a content-addressed result cache and singleflight dedup.
 //
-//	sweepd -addr 127.0.0.1:8080 -workers 0 -queue 4096
+//	sweepd -addr 127.0.0.1:8080 -workers 0 -queue 4096 -store /var/lib/sweepd
 //
 // Endpoints:
 //
 //	POST /sweep    {"useful":[4,8],"benchmarks":["gcc"],"instructions":20000}
 //	GET  /healthz  liveness + queue depth; 503 while draining
-//	GET  /stats    cache hit ratio, queue gauges, telemetry snapshot
+//	GET  /stats    cache hit ratio, uptime, store economy, telemetry snapshot
+//	GET  /results  ?since=<cursor>: cursor-ordered delta sync (needs -store)
 //
-// SIGINT/SIGTERM drain gracefully: admission stops (new sweeps get 503),
-// in-flight streams run to completion within -drain-timeout, then the
-// process exits 0.
+// With -store DIR every simulated point is appended, write-through, to a
+// durable content-addressed segment log; a restarted daemon warm-starts
+// from it and serves its whole history byte-identically with zero
+// re-simulation. Without -store the daemon is memory-only, exactly as
+// before.
+//
+// SIGINT/SIGTERM drain gracefully: admission stops (new sweeps get 503
+// with the -retry-after backoff), in-flight streams run to completion
+// within -drain-timeout, then the process exits 0.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 
 	"repro/internal/cliflags"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -44,6 +52,34 @@ func main() {
 	run.SetConfig("max_points", *sv.MaxPoints)
 	run.SetConfig("max_instructions", *sv.MaxInstructions)
 	run.SetConfig("cache", *sv.Cache)
+	run.SetConfig("store", *sv.Store)
+	run.SetConfig("segment_bytes", *sv.SegmentBytes)
+	run.SetConfig("compact_interval", sv.CompactInterval.String())
+	run.SetConfig("retry_after", *sv.RetryAfter)
+
+	// The durable store and the server must agree on the code version:
+	// it is folded into every content address, so a mismatch would
+	// version-skip the entire log on replay.
+	codeVersion := serve.DefaultCodeVersion()
+	var durable *store.Durable
+	var resultStore store.ResultStore // nil = serve's in-memory default
+	if *sv.Store != "" {
+		d, err := store.Open(store.Options{
+			Dir:             *sv.Store,
+			CacheLimit:      *sv.Cache,
+			SegmentBytes:    *sv.SegmentBytes,
+			CompactInterval: *sv.CompactInterval,
+			CodeVersion:     codeVersion,
+			Rec:             run.Recorder(),
+			Log:             run.Log,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		durable = d
+		resultStore = d
+	}
 
 	srv := serve.New(serve.Config{
 		Workers:             *sv.Workers,
@@ -51,6 +87,9 @@ func main() {
 		MaxPointsPerRequest: *sv.MaxPoints,
 		MaxInstructions:     *sv.MaxInstructions,
 		CacheLimit:          *sv.Cache,
+		CodeVersion:         codeVersion,
+		Store:               resultStore,
+		RetryAfter:          *sv.RetryAfter,
 		Rec:                 run.Recorder(),
 		Log:                 run.Log,
 	})
@@ -93,6 +132,14 @@ func main() {
 		cancel()
 	}
 	srv.Close()
+	if durable != nil {
+		// After the scheduler drains there are no more Puts; the store
+		// stops its coordinators, syncs the tail and closes its files.
+		if err := durable.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "error: store close:", err)
+			exit = 1
+		}
+	}
 	cliflags.MustClose(run)
 	os.Exit(exit)
 }

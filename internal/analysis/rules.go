@@ -30,10 +30,11 @@ func IsSimPackage(rel string) bool { return simPackages[rel] }
 
 func inSim(rel string) bool { return simPackages[rel] }
 
-// inSimOrRuntime adds the executor and telemetry layers, whose clock
-// reads are real but allowlisted in place with directives.
+// inSimOrRuntime adds the executor, telemetry and result-store layers,
+// whose clock reads are real but allowlisted in place with directives
+// (worker timing, span wall times, coordinator pacing).
 func inSimOrRuntime(rel string) bool {
-	return simPackages[rel] || rel == "internal/exec" || rel == "internal/obs"
+	return simPackages[rel] || rel == "internal/exec" || rel == "internal/obs" || rel == "internal/store"
 }
 
 // Analyzers returns the full rule suite, freshly allocated so callers

@@ -95,6 +95,16 @@ type Srv struct {
 	MaxInstructions *int
 	Cache           *int
 	DrainTimeout    *time.Duration
+
+	// Persistence knobs: Store enables the durable result store
+	// (internal/store) in the named directory, SegmentBytes rotates its
+	// append-only log segments, CompactInterval paces the compaction
+	// coordinator (0 disables it). RetryAfter is the Retry-After header
+	// value on 429/503, so client backoff is operator-tunable.
+	Store           *string
+	SegmentBytes    *int64
+	CompactInterval *time.Duration
+	RetryAfter      *int
 }
 
 // RegisterServe declares the serving flags on the default flag set.
@@ -113,6 +123,10 @@ func RegisterServeOn(fs *flag.FlagSet) *Srv {
 		MaxInstructions: fs.Int("max-instructions", 1_000_000, "max instructions per trace a request may ask for"),
 		Cache:           fs.Int("cache", 16384, "max cached point results before LRU eviction (-1 = unbounded)"),
 		DrainTimeout:    fs.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight streams"),
+		Store:           fs.String("store", "", "directory for the durable result store (empty = memory-only); restarts warm-start from it and enable GET /results delta sync"),
+		SegmentBytes:    fs.Int64("segment-bytes", 8<<20, "rotate the store's append-only log segments at this size"),
+		CompactInterval: fs.Duration("compact-interval", time.Minute, "how often the store's compaction coordinator retires superseded segments (0 = never)"),
+		RetryAfter:      fs.Int("retry-after", 1, "Retry-After seconds sent with 429 (queue full) and 503 (draining) responses"),
 	}
 }
 
@@ -138,6 +152,15 @@ func (s *Srv) Validate() error {
 	}
 	if *s.DrainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", *s.DrainTimeout)
+	}
+	if *s.SegmentBytes <= 0 {
+		return fmt.Errorf("-segment-bytes must be positive, got %d", *s.SegmentBytes)
+	}
+	if *s.CompactInterval < 0 {
+		return fmt.Errorf("-compact-interval must be >= 0 (0 disables compaction), got %v", *s.CompactInterval)
+	}
+	if *s.RetryAfter <= 0 {
+		return fmt.Errorf("-retry-after must be positive, got %d", *s.RetryAfter)
 	}
 	return nil
 }

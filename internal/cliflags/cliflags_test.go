@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -158,6 +159,13 @@ func TestSrvValidation(t *testing.T) {
 		{"zero cache", func(s *Srv) { *s.Cache = 0 }, "-cache must be positive"},
 		{"unbounded cache", func(s *Srv) { *s.Cache = -1 }, ""},
 		{"zero drain timeout", func(s *Srv) { *s.DrainTimeout = 0 }, "-drain-timeout must be positive"},
+		{"store directory", func(s *Srv) { *s.Store = "/tmp/results" }, ""},
+		{"zero segment bytes", func(s *Srv) { *s.SegmentBytes = 0 }, "-segment-bytes must be positive"},
+		{"negative segment bytes", func(s *Srv) { *s.SegmentBytes = -1 }, "-segment-bytes must be positive"},
+		{"compaction disabled", func(s *Srv) { *s.CompactInterval = 0 }, ""},
+		{"negative compact interval", func(s *Srv) { *s.CompactInterval = -time.Second }, "-compact-interval must be >= 0"},
+		{"zero retry after", func(s *Srv) { *s.RetryAfter = 0 }, "-retry-after must be positive"},
+		{"negative retry after", func(s *Srv) { *s.RetryAfter = -2 }, "-retry-after must be positive"},
 	}
 	for _, c := range cases {
 		err := srvFlags(c.mutate).Validate()

@@ -1,0 +1,149 @@
+package clitest
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// postSweepBody POSTs one sweep and returns the raw response body: the
+// byte-identity oracle for the persistence contract.
+func postSweepBody(t *testing.T, url, body string) string {
+	t.Helper()
+	resp, err := http.Post(url+"/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d, want 200", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestSweepdWarmRestartAfterKill is the crash-recovery acceptance test:
+// a daemon SIGKILLed mid-flight (with a garbage half-frame smeared on
+// its active segment for good measure) restarts over the same -store
+// directory and serves the exact bytes it computed before the crash,
+// without simulating anything.
+func TestSweepdWarmRestartAfterKill(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"useful":[6,8],"benchmarks":["gcc"],"instructions":3000}`
+
+	cmd1, url1 := startSweepd(t, "-store", dir)
+	first := postSweepBody(t, url1, body)
+	if strings.Count(first, "\n") != 3 { // 2 points + done trailer
+		t.Fatalf("first sweep body = %q, want 3 lines", first)
+	}
+
+	// Crash hard: no drain, no final sync.
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	// A torn half-record on the active segment's tail: what a crash mid-
+	// append leaves behind. Replay must square it off, not refuse to boot.
+	segs, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files in %s (err %v): -store did not persist", dir, err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cmd2, url2 := startSweepd(t, "-store", dir)
+	second := postSweepBody(t, url2, body)
+	if second != first {
+		t.Fatalf("post-restart sweep differs from the pre-crash bytes:\n%q\nvs\n%q", second, first)
+	}
+
+	resp, err := http.Get(url2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		UptimeSeconds *float64 `json:"uptime_seconds"`
+		CacheHits     int64    `json:"cache_hits"`
+		PointsDone    int64    `json:"points_done"`
+		WarmHits      int64    `json:"warm_hits"`
+		Segments      int      `json:"segments"`
+		StoreBytes    int64    `json:"store_bytes"`
+		Telemetry     struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"telemetry"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.PointsDone != 0 || stats.Telemetry.Counters["points_done"] != 0 {
+		t.Fatalf("restarted daemon simulated: %+v", stats)
+	}
+	if stats.WarmHits != 2 || stats.CacheHits != 2 {
+		t.Fatalf("warm_hits = %d, cache_hits = %d; want 2, 2 (both points replayed)", stats.WarmHits, stats.CacheHits)
+	}
+	if stats.Segments < 1 || stats.StoreBytes <= 0 {
+		t.Fatalf("store gauges = segments %d, bytes %d; want live segment data", stats.Segments, stats.StoreBytes)
+	}
+	if stats.UptimeSeconds == nil {
+		t.Fatal("/stats has no uptime_seconds field")
+	}
+
+	// Delta sync sees both surviving records.
+	resp, err = http.Get(url2 + "/results?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaRaw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /results status = %d, want 200", resp.StatusCode)
+	}
+	var records, trailers int
+	for _, line := range strings.Split(strings.TrimSpace(string(deltaRaw)), "\n") {
+		var probe struct {
+			Cursor uint64          `json:"cursor"`
+			Result json.RawMessage `json:"result"`
+			Done   bool            `json:"done"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			t.Fatalf("bad /results line %q: %v", line, err)
+		}
+		if probe.Done {
+			trailers++
+		} else {
+			records++
+		}
+	}
+	if records != 2 || trailers != 1 {
+		t.Fatalf("/results streamed %d records, %d trailers; want 2, 1", records, trailers)
+	}
+
+	// And the restarted daemon still shuts down cleanly.
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("sweepd did not exit cleanly on SIGTERM: %v", err)
+	}
+}

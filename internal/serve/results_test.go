@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// resultsEnvelope mirrors deltaLine plus the trailer fields, so one
+// decode loop handles a whole GET /results body.
+type resultsEnvelope struct {
+	Cursor  uint64          `json:"cursor"`
+	Result  json.RawMessage `json:"result"`
+	Done    bool            `json:"done"`
+	Records int             `json:"records"`
+}
+
+// pullResults GETs /results?since=N and returns the record envelopes
+// and the trailer (which must be present: a missing trailer means the
+// pull was cut short).
+func pullResults(t *testing.T, url string, since uint64) ([]resultsEnvelope, resultsEnvelope) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/results?since=%d", url, since))
+	if err != nil {
+		t.Fatalf("GET /results: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /results status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("GET /results content type = %q", ct)
+	}
+	var (
+		records []resultsEnvelope
+		trailer resultsEnvelope
+		sawDone bool
+	)
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var env resultsEnvelope
+		if err := dec.Decode(&env); err != nil {
+			t.Fatalf("bad /results line: %v", err)
+		}
+		if env.Done {
+			sawDone = true
+			trailer = env
+			continue
+		}
+		records = append(records, env)
+	}
+	if !sawDone {
+		t.Fatal("/results stream ended without the done trailer")
+	}
+	return records, trailer
+}
+
+// openTestStore opens a Durable store for a server test, with
+// coordinators off and the given code version.
+func openTestStore(t *testing.T, dir, version string) *store.Durable {
+	t.Helper()
+	d, err := store.Open(store.Options{Dir: dir, CodeVersion: version, SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestResultsRequiresDurableStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("memory-only /results status = %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestResultsMethodAndCursorValidation(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestStore(t, dir, "v-test")
+	t.Cleanup(func() { d.Close() })
+	_, ts := newTestServer(t, Config{Workers: 1, CodeVersion: "v-test", Store: d})
+
+	resp, err := http.Post(ts.URL+"/results", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /results status = %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/results?since=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad cursor status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestResultsDeltaSync is the replication contract: two clients at
+// different cursors reconstruct the exact same result set, records
+// stream in strictly increasing cursor order, and the payload bytes are
+// the sweep lines themselves.
+func TestResultsDeltaSync(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestStore(t, dir, "v-test")
+	t.Cleanup(func() { d.Close() })
+	srv, ts := newTestServer(t, Config{Workers: 2, CodeVersion: "v-test", Store: d})
+
+	resp := postSweep(t, ts.URL, `{"useful":[4,6,8],"benchmarks":["gcc"],"instructions":4000}`)
+	sweepLines, _ := readStream(t, resp)
+	if len(sweepLines) != 3 {
+		t.Fatalf("sweep returned %d points, want 3", len(sweepLines))
+	}
+
+	// Client A pulls everything from the beginning.
+	full, trailer := pullResults(t, ts.URL, 0)
+	if len(full) != 3 {
+		t.Fatalf("Since(0) streamed %d records, want 3", len(full))
+	}
+	if trailer.Records != 3 || trailer.Cursor != full[2].Cursor {
+		t.Fatalf("trailer = %+v, want records=3 cursor=%d", trailer, full[2].Cursor)
+	}
+	seen := map[string]bool{}
+	for i, env := range full {
+		if i > 0 && env.Cursor <= full[i-1].Cursor {
+			t.Fatalf("cursors not strictly increasing: %d then %d", full[i-1].Cursor, env.Cursor)
+		}
+		var pr PointResult
+		if err := json.Unmarshal(env.Result, &pr); err != nil {
+			t.Fatalf("record %d result is not a point line: %v", i, err)
+		}
+		want, ok := sweepLines[pr.Key]
+		if !ok {
+			t.Fatalf("delta record for unknown key %s", pr.Key)
+		}
+		if string(env.Result) != want {
+			t.Fatalf("delta payload differs from the sweep line:\n%s\nvs\n%s", env.Result, want)
+		}
+		seen[pr.Key] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("delta stream covered %d distinct keys, want 3", len(seen))
+	}
+
+	// Client B resumes from the middle: its pull plus A's prefix must be
+	// exactly the full set.
+	tail, tailTrailer := pullResults(t, ts.URL, full[1].Cursor)
+	if len(tail) != 1 || tail[0].Cursor != full[2].Cursor || string(tail[0].Result) != string(full[2].Result) {
+		t.Fatalf("Since(%d) = %+v, want just the last record", full[1].Cursor, tail)
+	}
+	if tailTrailer.Cursor != full[2].Cursor {
+		t.Fatalf("resume trailer cursor = %d, want %d", tailTrailer.Cursor, full[2].Cursor)
+	}
+
+	// A cursor at or past the end is an empty stream with a trailer that
+	// echoes the caller's cursor — not an error.
+	empty, emptyTrailer := pullResults(t, ts.URL, 999)
+	if len(empty) != 0 {
+		t.Fatalf("past-end pull streamed %d records, want 0", len(empty))
+	}
+	if emptyTrailer.Records != 0 || emptyTrailer.Cursor != 999 {
+		t.Fatalf("past-end trailer = %+v, want records=0 cursor=999", emptyTrailer)
+	}
+
+	if st := srv.StatsSnapshot(); st.StoreCursor != full[2].Cursor {
+		t.Fatalf("stats store_cursor = %d, want %d", st.StoreCursor, full[2].Cursor)
+	}
+}
+
+// TestRetryAfterConfigurable pins the -retry-after plumbing: the header
+// value on 429 and draining 503 responses comes from Config.RetryAfter.
+func TestRetryAfterConfigurable(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueLimit: 2, RetryAfter: 7})
+	resp := postSweep(t, ts.URL, `{"useful":[2,3,4,5,6],"benchmarks":["gcc"],"instructions":4000}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Fatalf("429 Retry-After = %q, want \"7\"", ra)
+	}
+
+	srv.BeginDrain()
+	resp = postSweep(t, ts.URL, `{"useful":[8],"benchmarks":["gcc"],"instructions":4000}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Fatalf("503 Retry-After = %q, want \"7\"", ra)
+	}
+}
+
+// TestWarmRestartServesWithoutSimulating is the in-process half of the
+// persistence contract (the out-of-process half lives in
+// internal/clitest): a server rebuilt over the same store directory
+// serves the previous server's sweep byte-identically with zero
+// simulations.
+func TestWarmRestartServesWithoutSimulating(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"useful":[4,6,8],"benchmarks":["gcc"],"instructions":4000}`
+
+	d1 := openTestStore(t, dir, "v-test")
+	srv1 := New(Config{Workers: 2, CodeVersion: "v-test", Store: d1})
+	ts1 := httptest.NewServer(srv1)
+	resp := postSweep(t, ts1.URL, body)
+	first, _ := readStream(t, resp)
+	if len(first) != 3 {
+		t.Fatalf("first pass returned %d points, want 3", len(first))
+	}
+	ts1.Close()
+	srv1.Close()
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := openTestStore(t, dir, "v-test")
+	t.Cleanup(func() { d2.Close() })
+	srv2, ts2 := newTestServer(t, Config{Workers: 2, CodeVersion: "v-test", Store: d2})
+	resp = postSweep(t, ts2.URL, body)
+	second, _ := readStream(t, resp)
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatal("warm-restart response differs from the original")
+	}
+	st := srv2.StatsSnapshot()
+	if st.PointsDone != 0 {
+		t.Fatalf("points done = %d after restart, want 0 (everything replays from disk)", st.PointsDone)
+	}
+	if st.WarmHits == 0 {
+		t.Fatal("warm hits = 0 after a warm-started sweep")
+	}
+	if st.Segments < 1 || st.StoreBytes <= 0 {
+		t.Fatalf("store gauges after restart: segments=%d bytes=%d", st.Segments, st.StoreBytes)
+	}
+	if st.UptimeSeconds < 0 {
+		t.Fatalf("uptime = %f, want >= 0", st.UptimeSeconds)
+	}
+}

@@ -11,7 +11,6 @@ package serve
 // executor's Skip hook) instead of burning simulation time for nobody.
 
 import (
-	"container/list"
 	"encoding/json"
 	"errors"
 	"sync"
@@ -21,6 +20,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/store"
 )
 
 // ErrQueueFull is returned by admit when accepting a request's new
@@ -62,53 +62,43 @@ type ticket struct {
 	job  *job
 }
 
-// cacheEntry is one finished result line in the LRU list; the element's
-// Value is *cacheEntry.
-type cacheEntry struct {
-	key  string
-	line []byte
-}
-
 // scheduler owns the queue, the singleflight registry and the result
-// cache. All three are guarded by mu; the dispatcher goroutine is the
-// only caller of runBatch.
+// store. The queue and registry are guarded by mu; the dispatcher
+// goroutine is the only caller of runBatch.
 //
-// The cache is a bounded LRU: cache keys span an unbounded input space
-// (any seed, any instruction count), so without eviction a long-running
-// daemon accumulates result lines until memory exhaustion. cacheLimit
-// caps the entry count; lru orders entries most-recently-used first and
-// cacheBytes tracks the resident line bytes for /stats.
+// The result store is the pluggable ResultStore seam (internal/store):
+// a bounded in-memory LRU by default, or a durable warm-start store
+// when the daemon runs with -store. The store has its own internal
+// locking; scheduler calls into it both under mu (admission
+// classification must be atomic against the queue) and outside it
+// (finalize) — the nesting is always scheduler.mu -> store, never the
+// reverse.
 type scheduler struct {
 	rec         *obs.Recorder
 	workers     int
 	codeVersion string
 	queueLimit  int
-	cacheLimit  int // max cached lines; <= 0 means unbounded
+	cache       store.ResultStore
 
-	mu         sync.Mutex
-	queue      []*job
-	inflight   map[string]*job          // queued or running jobs by key
-	cache      map[string]*list.Element // finished result lines by key, values *cacheEntry
-	lru        *list.List               // front = most recently used
-	cacheBytes int64
-	running    int // jobs in the currently dispatched batch
-	closing    bool
+	mu       sync.Mutex
+	queue    []*job
+	inflight map[string]*job // queued or running jobs by key
+	running  int             // jobs in the currently dispatched batch
+	closing  bool
 
 	wake    chan struct{} // buffered(1): queued work is waiting
 	stop    chan struct{}
 	stopped chan struct{}
 }
 
-func newScheduler(workers, queueLimit, cacheLimit int, codeVersion string, rec *obs.Recorder) *scheduler {
+func newScheduler(workers, queueLimit int, cache store.ResultStore, codeVersion string, rec *obs.Recorder) *scheduler {
 	s := &scheduler{
 		rec:         rec,
 		workers:     workers,
 		codeVersion: codeVersion,
 		queueLimit:  queueLimit,
-		cacheLimit:  cacheLimit,
+		cache:       cache,
 		inflight:    map[string]*job{},
-		cache:       map[string]*list.Element{},
-		lru:         list.New(),
 		wake:        make(chan struct{}, 1),
 		stop:        make(chan struct{}),
 		stopped:     make(chan struct{}),
@@ -136,9 +126,15 @@ func (s *scheduler) admit(pts []core.PointOptions, keys []string) ([]ticket, err
 		return nil, ErrStopped
 	}
 
+	// One store probe per key: the line (if resident or on disk) is held
+	// for the classification pass below, so a hit is fetched exactly once.
+	// Store state cannot shift between the passes — every store mutation
+	// on the serving path (finalize's Put) runs under this same mutex.
+	lines := make([][]byte, len(keys))
 	fresh := 0
-	for _, k := range keys {
-		if _, ok := s.cache[k]; ok {
+	for i, k := range keys {
+		if line, ok := s.cache.Get(k); ok {
+			lines[i] = line
 			continue
 		}
 		if _, ok := s.inflight[k]; ok {
@@ -153,10 +149,9 @@ func (s *scheduler) admit(pts []core.PointOptions, keys []string) ([]ticket, err
 
 	tickets := make([]ticket, 0, len(pts))
 	for i, k := range keys {
-		if e, ok := s.cache[k]; ok {
-			s.lru.MoveToFront(e)
+		if lines[i] != nil {
 			s.rec.Add("point_cache_hits", 1)
-			tickets = append(tickets, ticket{line: e.Value.(*cacheEntry).line})
+			tickets = append(tickets, ticket{line: lines[i]})
 			continue
 		}
 		if j, ok := s.inflight[k]; ok {
@@ -293,41 +288,20 @@ func (s *scheduler) runBatch(batch []*job) {
 	}
 }
 
-// finalize publishes one completed job: result cached (on success),
-// registry entry retired, waiters woken.
+// finalize publishes one completed job: result stored (on success — a
+// durable store also appends it to the segment log here, write-through),
+// registry entry retired, waiters woken. The store write happens under
+// mu so admission's classify-then-enqueue stays atomic against it.
 func (s *scheduler) finalize(j *job, line []byte) {
 	s.mu.Lock()
 	if line != nil {
 		j.line = line
-		s.cacheInsert(j.key, line)
+		s.cache.Put(j.key, line)
 		s.rec.Add("points_done", 1)
 	}
 	delete(s.inflight, j.key)
 	s.mu.Unlock()
 	close(j.done)
-}
-
-// cacheInsert stores one finished line and evicts least-recently-used
-// entries past the cache bound. Caller holds mu. Eviction never touches
-// a live stream: streams hold the line slice (or the job) directly, so
-// dropping the cache entry only means a future request re-simulates.
-func (s *scheduler) cacheInsert(key string, line []byte) {
-	if e, ok := s.cache[key]; ok {
-		// Singleflight keeps one job per key, so a resident entry here
-		// should be impossible; keep it rather than double-count bytes.
-		s.lru.MoveToFront(e)
-		return
-	}
-	s.cache[key] = s.lru.PushFront(&cacheEntry{key: key, line: line})
-	s.cacheBytes += int64(len(line))
-	for s.cacheLimit > 0 && s.lru.Len() > s.cacheLimit {
-		oldest := s.lru.Back()
-		ent := oldest.Value.(*cacheEntry)
-		s.lru.Remove(oldest)
-		delete(s.cache, ent.key)
-		s.cacheBytes -= int64(len(ent.line))
-		s.rec.Add("cache_evictions", 1)
-	}
 }
 
 // run is the dispatcher loop: drain the queue batch by batch whenever
@@ -374,6 +348,7 @@ func (s *scheduler) close() {
 // gauges reports the live queue and cache state for /healthz and /stats.
 func (s *scheduler) gauges() (queued, running, cacheSize int, cacheBytes int64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.queue), s.running, len(s.cache), s.cacheBytes
+	queued, running = len(s.queue), s.running
+	s.mu.Unlock()
+	return queued, running, s.cache.Len(), s.cache.Bytes()
 }

@@ -14,10 +14,15 @@
 //     header, before anything is enqueued — and grid ranges are bounds-
 //     checked before expansion, so no request body can make the server
 //     materialize (or loop over) more points than the per-request limit.
-//   - The result cache is bounded: cache keys span an unbounded input
-//     space (any seed, any instruction count), so least-recently-used
-//     lines are evicted past CacheLimit; /stats exposes cache_bytes and
-//     cache_evictions so operators can watch the economy.
+//   - The result cache is a pluggable ResultStore (internal/store) and
+//     bounded either way: cache keys span an unbounded input space (any
+//     seed, any instruction count), so least-recently-used lines are
+//     evicted past CacheLimit; /stats exposes cache_bytes and
+//     cache_evictions so operators can watch the economy. A durable
+//     store adds a write-through segment log, warm-start on boot (every
+//     previously simulated point is served from disk, byte-identically,
+//     with zero re-simulation) and cursor-based delta sync over
+//     GET /results?since=<cursor>.
 //   - A client that disconnects mid-stream releases its claim on every
 //     unconsumed point; points nobody else wants are dropped from the
 //     queue immediately (or skipped by the executor if a batch already
@@ -30,15 +35,19 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Config sizes one Server. The zero value is a sensible daemon: all-CPU
@@ -71,6 +80,17 @@ type Config struct {
 	// revision (falling back to "dev").
 	CodeVersion string
 
+	// Store overrides the result store. nil means a process-lifetime
+	// bounded LRU sized by CacheLimit; a *store.Durable adds warm-start
+	// persistence and enables the GET /results delta-sync endpoint.
+	// A caller-supplied store must use the same CodeVersion and should
+	// share Rec so its counters land in the run manifest.
+	Store store.ResultStore
+
+	// RetryAfter is the Retry-After value, in seconds, sent with 429
+	// (queue full) and 503 (draining/stopped) responses; 0 means 1.
+	RetryAfter int
+
 	// Rec receives the server's telemetry; nil means a private recorder.
 	Rec *obs.Recorder
 
@@ -94,11 +114,17 @@ func (c Config) withDefaults() Config {
 	if c.CodeVersion == "" {
 		c.CodeVersion = buildVersion()
 	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = 1
+	}
 	if c.Rec == nil {
 		c.Rec = obs.New(nil)
 	}
 	if c.Log == nil {
 		c.Log = slog.Default()
+	}
+	if c.Store == nil {
+		c.Store = store.NewMemory(c.CacheLimit, c.Rec)
 	}
 	return c
 }
@@ -115,12 +141,27 @@ func buildVersion() string {
 	return "dev"
 }
 
+// DefaultCodeVersion is the code version a zero-valued Config resolves
+// to. A durable store opened alongside the server must be keyed with
+// the same string, or every replayed record would be version-skipped.
+func DefaultCodeVersion() string { return buildVersion() }
+
+// DeltaSource is the optional store capability behind GET /results:
+// cursor-ordered replication of every appended record. *store.Durable
+// implements it; the in-memory store does not (501).
+type DeltaSource interface {
+	Since(since uint64, fn func(store.Delta) error) error
+	Cursor() uint64
+}
+
 // Server is the daemon: an http.Handler plus the scheduler behind it.
 type Server struct {
 	cfg      Config
 	rec      *obs.Recorder
 	sched    *scheduler
+	delta    DeltaSource // nil when the result store is memory-only
 	mux      *http.ServeMux
+	start    time.Time
 	draining atomic.Bool
 }
 
@@ -130,12 +171,15 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		rec:   cfg.Rec,
-		sched: newScheduler(cfg.Workers, cfg.QueueLimit, cfg.CacheLimit, cfg.CodeVersion, cfg.Rec),
+		sched: newScheduler(cfg.Workers, cfg.QueueLimit, cfg.Store, cfg.CodeVersion, cfg.Rec),
 		mux:   http.NewServeMux(),
+		start: time.Now(), // uptime gauge only; /stats is off the deterministic result path
 	}
+	s.delta, _ = cfg.Store.(DeltaSource)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/results", s.handleResults)
 	return s
 }
 
@@ -174,6 +218,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
 		errorJSON(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -195,13 +240,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	tickets, err := s.sched.admit(pts, keys)
 	if errors.Is(err, ErrQueueFull) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
 		errorJSON(w, http.StatusTooManyRequests, "%v", err)
 		return
 	}
 	if err != nil {
 		// ErrStopped: Close won the race against this request's draining
 		// check; the dispatcher is gone, so admit refused the points.
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
 		errorJSON(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -287,6 +333,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // simulator's wakeup_wakes/wakeup_scanned counters and per-task
 // timings).
 type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
 	QueueDepth     int `json:"queue_depth"`
 	RunningPoints  int `json:"running_points"`
 	InflightPoints int `json:"inflight_points"` // queued + running
@@ -298,6 +346,17 @@ type Stats struct {
 	CacheHitRatio  float64 `json:"cache_hit_ratio"`
 	CacheEvictions int64   `json:"cache_evictions"`
 	DedupJoins     int64   `json:"dedup_joins"`
+
+	// The durable-store economy: hits served warm from the replayed
+	// memory layer, hits re-read from a segment, live segment files and
+	// their bytes, coordinator compactions, and the delta-sync cursor
+	// high-water mark. All zero in memory-only mode.
+	WarmHits    int64  `json:"warm_hits"`
+	DiskHits    int64  `json:"disk_hits"`
+	Segments    int    `json:"segments"`
+	StoreBytes  int64  `json:"store_bytes"`
+	Compactions int64  `json:"compactions"`
+	StoreCursor uint64 `json:"store_cursor"`
 
 	Requests      int64 `json:"requests"`
 	Rejected      int64 `json:"requests_rejected"`
@@ -312,7 +371,9 @@ type Stats struct {
 // embedding binaries can read it without HTTP.
 func (s *Server) StatsSnapshot() Stats {
 	queued, running, cacheSize, cacheBytes := s.sched.gauges()
+	ss := s.cfg.Store.Stats()
 	st := Stats{
+		UptimeSeconds:  time.Since(s.start).Seconds(), // observation-only: never feeds a result body
 		QueueDepth:     queued,
 		RunningPoints:  running,
 		InflightPoints: queued + running,
@@ -320,7 +381,13 @@ func (s *Server) StatsSnapshot() Stats {
 		CacheBytes:     cacheBytes,
 		CacheHits:      s.rec.Counter("point_cache_hits"),
 		CacheMisses:    s.rec.Counter("point_cache_misses"),
-		CacheEvictions: s.rec.Counter("cache_evictions"),
+		CacheEvictions: ss.Evictions,
+		WarmHits:       ss.WarmHits,
+		DiskHits:       ss.DiskHits,
+		Segments:       ss.Segments,
+		StoreBytes:     ss.StoreBytes,
+		Compactions:    ss.Compactions,
+		StoreCursor:    ss.Cursor,
 		DedupJoins:     s.rec.Counter("dedup_joins"),
 		Requests:       s.rec.Counter("requests"),
 		Rejected:       s.rec.Counter("requests_rejected"),
@@ -340,4 +407,66 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.StatsSnapshot())
+}
+
+// deltaLine is one NDJSON line of a GET /results response: the record's
+// delta-sync cursor plus the stored result line verbatim (it is already
+// compact JSON, so embedding it as a raw message preserves its bytes).
+type deltaLine struct {
+	Cursor uint64          `json:"cursor"`
+	Result json.RawMessage `json:"result"`
+}
+
+// handleResults is GET /results?since=<cursor>: cursor-ordered delta
+// sync over the durable store, the way an event-log pull works — a peer
+// node or CLI client streams every record appended after its cursor and
+// resumes next time from the trailer's cursor. A cursor at or past the
+// end yields an empty stream (just the trailer), not an error. Memory-
+// only daemons answer 501: there is no log to sync from.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		errorJSON(w, http.StatusMethodNotAllowed, "GET /results?since=<cursor>")
+		return
+	}
+	if s.delta == nil {
+		errorJSON(w, http.StatusNotImplemented, "delta sync requires a durable result store (run sweepd with -store)")
+		return
+	}
+	var since uint64
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			errorJSON(w, http.StatusBadRequest, "bad since cursor %q: %v", raw, err)
+			return
+		}
+		since = v
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	last, records := since, 0
+	err := s.delta.Since(since, func(d store.Delta) error {
+		if err := enc.Encode(deltaLine{Cursor: d.Cursor, Result: json.RawMessage(bytes.TrimSuffix(d.Line, []byte("\n")))}); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		last, records = d.Cursor, records+1
+		return nil
+	})
+	if err != nil {
+		// Mid-stream failure (client gone or a log read error): the
+		// missing trailer tells the client the pull was incomplete.
+		s.cfg.Log.Debug("results stream aborted", "err", err)
+		return
+	}
+	s.rec.Add("delta_pulls", 1)
+	// The trailer's cursor is the resume point: the highest cursor this
+	// response actually carried (or the caller's own cursor when the
+	// stream was empty).
+	fmt.Fprintf(w, "{\"done\":true,\"cursor\":%d,\"records\":%d}\n", last, records)
 }
