@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fuzz-smoke bench-smoke bench-compare telemetry-smoke serve-smoke store-smoke cover profile check
+.PHONY: build test race vet lint fuzz-smoke bench-smoke bench-compare telemetry-smoke serve-smoke store-smoke metrics-smoke cover profile check
 
 build:
 	$(GO) build ./...
@@ -115,6 +115,39 @@ store-smoke:
 	grep -q '"warm_hits": 2' /tmp/store_stats.json; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "store-smoke: warm restart served identical bytes, zero re-simulations"
+
+# Observability smoke: boot the daemon, sweep one grid with a pinned
+# X-Request-Id, then scrape /metrics and assert the exposition is
+# Prometheus text format 0.0.4 (HELP/TYPE present, the request counter
+# moved, latency histogram populated) and the request ID round-tripped.
+# The format linter and counters-agree-with-/stats checks run in
+# internal/serve and internal/clitest; this drives the real binary the
+# way a scraper would.
+METRICS_PORT ?= 18736
+
+metrics-smoke:
+	$(GO) build -o /tmp/sweepd ./cmd/sweepd
+	@set -e; \
+	/tmp/sweepd -addr 127.0.0.1:$(METRICS_PORT) -workers 1 2>/tmp/sweepd-metrics.log & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	ok=; for i in $$(seq 1 100); do \
+		if curl -fsS http://127.0.0.1:$(METRICS_PORT)/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	test -n "$$ok" || { echo "metrics-smoke: daemon never became healthy"; cat /tmp/sweepd-metrics.log; exit 1; }; \
+	curl -fsS -D /tmp/sweep_headers.txt -X POST -H 'X-Request-Id: metrics-smoke-1' \
+		--data '{"useful":[8],"benchmarks":["gcc"],"instructions":5000}' \
+		http://127.0.0.1:$(METRICS_PORT)/sweep > /dev/null; \
+	grep -qi '^x-request-id: metrics-smoke-1' /tmp/sweep_headers.txt; \
+	curl -fsS http://127.0.0.1:$(METRICS_PORT)/metrics > /tmp/metrics.txt; \
+	grep -q '^# HELP sweep_requests_total ' /tmp/metrics.txt; \
+	grep -q '^# TYPE sweep_request_seconds histogram$$' /tmp/metrics.txt; \
+	grep -q '^sweep_requests_total 1$$' /tmp/metrics.txt; \
+	grep -q '^sweep_request_seconds_count 1$$' /tmp/metrics.txt; \
+	grep -q '^sweep_request_seconds_bucket{le="+Inf"} 1$$' /tmp/metrics.txt; \
+	grep -q '^build_info{' /tmp/metrics.txt; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "metrics-smoke: exposition well-formed, request ID echoed, clean shutdown"
 
 # Coverage with a ratchet floor: the gate trips when total statement
 # coverage falls below COVER_MIN (set just under the current baseline;

@@ -9,9 +9,19 @@
 // Endpoints:
 //
 //	POST /sweep    {"useful":[4,8],"benchmarks":["gcc"],"instructions":20000}
-//	GET  /healthz  liveness + queue depth; 503 while draining
+//	GET  /healthz  liveness + queue depth; 503 {"status":"draining"} while draining
 //	GET  /stats    cache hit ratio, uptime, store economy, telemetry snapshot
+//	GET  /metrics  Prometheus text exposition (latency histograms, queue
+//	               gauges, store economy, rejects by reason; -metrics=false
+//	               disables)
 //	GET  /results  ?since=<cursor>: cursor-ordered delta sync (needs -store)
+//
+// Every request carries an X-Request-Id (an inbound one is honored) that
+// is echoed in the response, threaded through scheduler admission and
+// simulation, and stamped on each structured access-log line; requests
+// slower than -slow-request additionally log at Warn. With -debug-addr
+// a second, private listener serves /debug/pprof so a live daemon can be
+// profiled without restarting.
 //
 // With -store DIR every simulated point is appended, write-through, to a
 // durable content-addressed segment log; a restarted daemon warm-starts
@@ -31,6 +41,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,6 +67,9 @@ func main() {
 	run.SetConfig("segment_bytes", *sv.SegmentBytes)
 	run.SetConfig("compact_interval", sv.CompactInterval.String())
 	run.SetConfig("retry_after", *sv.RetryAfter)
+	run.SetConfig("metrics", *sv.Metrics)
+	run.SetConfig("slow_request", sv.SlowRequest.String())
+	run.SetConfig("debug_addr", *sv.DebugAddr)
 
 	// The durable store and the server must agree on the code version:
 	// it is folded into every content address, so a mismatch would
@@ -92,8 +106,33 @@ func main() {
 		RetryAfter:          *sv.RetryAfter,
 		Rec:                 run.Recorder(),
 		Log:                 run.Log,
+		DisableMetrics:      !*sv.Metrics,
+		SlowRequest:         *sv.SlowRequest,
 	})
 	hs := &http.Server{Addr: *sv.Addr, Handler: srv}
+
+	if *sv.DebugAddr != "" {
+		// The pprof surface binds its own listener, never the serving
+		// one: profiles are an operator tool and must not be reachable
+		// through whatever exposes the sweep port. DefaultServeMux is
+		// deliberately avoided — a private mux carries only pprof.
+		dln, err := net.Listen("tcp", *sv.DebugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(os.Stderr, "sweepd: debug listening on %s\n", dln.Addr())
+		dbg := &http.Server{Handler: dmux}
+		// No shutdown plumbing: the debug listener is an operator tap
+		// that lives and dies with the process.
+		go dbg.Serve(dln) //reprolint:allow goroutinescope: the debug listener serves pprof beside the main accept loop; it runs no simulation and dies with the process
+	}
 
 	ln, err := net.Listen("tcp", *sv.Addr)
 	if err != nil {

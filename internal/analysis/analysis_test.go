@@ -170,8 +170,11 @@ func TestScopes(t *testing.T) {
 		{"traceimmutable", "cmd/pipesweep", true},
 		{"obsinert", "internal/experiments", true},
 		{"obsinert", "internal/obs", false},
+		{"obsinert", "internal/obs/promtext", false},
+		{"obsinert", "internal/serve", false},
 		{"goroutinescope", "internal/exec", false},
 		{"goroutinescope", "internal/obs", false},
+		{"goroutinescope", "internal/obs/promtext", true},
 		{"goroutinescope", "internal/core", true},
 		{"goroutinescope", "cmd/pipesweep", true},
 	} {

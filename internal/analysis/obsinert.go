@@ -23,11 +23,16 @@ var recorderWrites = map[string]bool{
 // may only write to an obs.Recorder. Reading counters or spans back
 // (Recorder.Snapshot and any future accessor) from simulation code
 // could steer control flow by what was observed, breaking the
-// byte-for-byte telemetry-invariance guarantee.
+// byte-for-byte telemetry-invariance guarantee. The same contract bans
+// importing the scrape-surface metrics registry (internal/obs/promtext)
+// outright: its instruments are readable (Counter.Value, Gauge.Value,
+// histogram snapshots), so simulation code holding one could branch on
+// observed state — values flow into the registry only through the
+// serving layer or scrape-time bridges.
 func ObsInertAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "obsinert",
-		Doc:  "simulation packages may only write to obs.Recorder: reading telemetry back could steer simulation control flow",
+		Doc:  "simulation packages may only write to obs.Recorder: reading telemetry back (or importing the metrics registry) could steer simulation control flow",
 		Appl: inSim,
 		Run:  runObsInert,
 	}
@@ -35,6 +40,13 @@ func ObsInertAnalyzer() *Analyzer {
 
 func runObsInert(p *Pass) {
 	inspectFiles(p, func(n ast.Node) bool {
+		if imp, ok := n.(*ast.ImportSpec); ok {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == p.Mod+"/internal/obs/promtext" {
+				p.Reportf(imp.Pos(), "simulation package imports the metrics registry %s; simulation code observes only through the write-only obs.Recorder hooks", path)
+			}
+			return true
+		}
 		x, ok := n.(*ast.SelectorExpr)
 		if !ok {
 			return true

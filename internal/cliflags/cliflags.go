@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"time"
 
@@ -105,6 +106,15 @@ type Srv struct {
 	SegmentBytes    *int64
 	CompactInterval *time.Duration
 	RetryAfter      *int
+
+	// Observability knobs: Metrics gates the /metrics exposition
+	// endpoint, SlowRequest is the latency past which a request logs at
+	// Warn (0 disables), DebugAddr binds a second, private listener
+	// serving /debug/pprof so a live daemon can be profiled without
+	// restarting (empty = no debug listener).
+	Metrics     *bool
+	SlowRequest *time.Duration
+	DebugAddr   *string
 }
 
 // RegisterServe declares the serving flags on the default flag set.
@@ -127,6 +137,9 @@ func RegisterServeOn(fs *flag.FlagSet) *Srv {
 		SegmentBytes:    fs.Int64("segment-bytes", 8<<20, "rotate the store's append-only log segments at this size"),
 		CompactInterval: fs.Duration("compact-interval", time.Minute, "how often the store's compaction coordinator retires superseded segments (0 = never)"),
 		RetryAfter:      fs.Int("retry-after", 1, "Retry-After seconds sent with 429 (queue full) and 503 (draining) responses"),
+		Metrics:         fs.Bool("metrics", true, "serve Prometheus text exposition on GET /metrics (-metrics=false disables)"),
+		SlowRequest:     fs.Duration("slow-request", 0, "log requests slower than this at Warn and count them (0 = disabled)"),
+		DebugAddr:       fs.String("debug-addr", "", "bind a second listener serving /debug/pprof on this host:port (empty = disabled; keep it private)"),
 	}
 }
 
@@ -161,6 +174,14 @@ func (s *Srv) Validate() error {
 	}
 	if *s.RetryAfter <= 0 {
 		return fmt.Errorf("-retry-after must be positive, got %d", *s.RetryAfter)
+	}
+	if *s.SlowRequest < 0 {
+		return fmt.Errorf("-slow-request must be >= 0 (0 disables the slow log), got %v", *s.SlowRequest)
+	}
+	if *s.DebugAddr != "" {
+		if _, _, err := net.SplitHostPort(*s.DebugAddr); err != nil {
+			return fmt.Errorf("-debug-addr %q is not a host:port: %v", *s.DebugAddr, err)
+		}
 	}
 	return nil
 }

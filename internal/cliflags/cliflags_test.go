@@ -166,6 +166,15 @@ func TestSrvValidation(t *testing.T) {
 		{"negative compact interval", func(s *Srv) { *s.CompactInterval = -time.Second }, "-compact-interval must be >= 0"},
 		{"zero retry after", func(s *Srv) { *s.RetryAfter = 0 }, "-retry-after must be positive"},
 		{"negative retry after", func(s *Srv) { *s.RetryAfter = -2 }, "-retry-after must be positive"},
+		{"metrics disabled", func(s *Srv) { *s.Metrics = false }, ""},
+		{"slow request threshold", func(s *Srv) { *s.SlowRequest = 500 * time.Millisecond }, ""},
+		{"slow request disabled", func(s *Srv) { *s.SlowRequest = 0 }, ""},
+		{"negative slow request", func(s *Srv) { *s.SlowRequest = -time.Second }, "-slow-request must be >= 0"},
+		{"debug addr loopback", func(s *Srv) { *s.DebugAddr = "127.0.0.1:6060" }, ""},
+		{"debug addr free port", func(s *Srv) { *s.DebugAddr = "localhost:0" }, ""},
+		{"debug addr no port", func(s *Srv) { *s.DebugAddr = "localhost" }, "-debug-addr"},
+		{"debug addr garbage", func(s *Srv) { *s.DebugAddr = "not an addr" }, "-debug-addr"},
+		{"debug addr stray colon", func(s *Srv) { *s.DebugAddr = "1.2.3.4:70000:x" }, "-debug-addr"},
 	}
 	for _, c := range cases {
 		err := srvFlags(c.mutate).Validate()

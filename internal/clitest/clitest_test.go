@@ -237,6 +237,8 @@ func TestBadSimFlagValuesExitTwo(t *testing.T) {
 		{"segwin", "-bench", "no-such-benchmark"},
 		{"sweepd", "-queue", "0"},
 		{"sweepd", "-addr", ""},
+		{"sweepd", "-slow-request", "-1s"},
+		{"sweepd", "-debug-addr", "not-a-hostport"},
 		{"benchdiff", "onlyone.txt"},
 	}
 	for _, c := range cases {

@@ -3,17 +3,29 @@ package clitest
 import (
 	"bufio"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os/exec"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/obs/promtext"
 )
 
 // startSweepd launches the daemon on an ephemeral port and returns its
 // base URL. The readiness line on stderr carries the resolved address.
 func startSweepd(t *testing.T, extra ...string) (*exec.Cmd, string) {
+	cmd, url, _ := startSweepdDebug(t, extra...)
+	return cmd, url
+}
+
+// startSweepdDebug is startSweepd plus the resolved -debug-addr base URL
+// (empty unless the flags ask for a debug listener). The debug readiness
+// line prints before the main one, so both are captured in one scan.
+func startSweepdDebug(t *testing.T, extra ...string) (*exec.Cmd, string, string) {
 	t.Helper()
 	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "1"}, extra...)
 	cmd := exec.Command(bin("sweepd"), args...)
@@ -31,13 +43,20 @@ func startSweepd(t *testing.T, extra ...string) (*exec.Cmd, string) {
 		}
 	})
 
-	// The first stderr line is "sweepd: listening on <addr>"; a watchdog
-	// kills the process if it never appears so the read cannot hang.
+	// The first stderr lines are "sweepd: debug listening on <addr>"
+	// (only with -debug-addr) then "sweepd: listening on <addr>"; a
+	// watchdog kills the process if the main readiness line never
+	// appears so the read cannot hang.
 	watchdog := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
 	defer watchdog.Stop()
+	var debugURL string
 	sc := bufio.NewScanner(stderr)
 	for sc.Scan() {
 		line := sc.Text()
+		if addr, ok := strings.CutPrefix(line, "sweepd: debug listening on "); ok {
+			debugURL = "http://" + strings.TrimSpace(addr)
+			continue
+		}
 		if addr, ok := strings.CutPrefix(line, "sweepd: listening on "); ok {
 			// Keep draining stderr in the background so the daemon never
 			// blocks on a full pipe.
@@ -45,11 +64,11 @@ func startSweepd(t *testing.T, extra ...string) (*exec.Cmd, string) {
 				for sc.Scan() {
 				}
 			}()
-			return cmd, "http://" + strings.TrimSpace(addr)
+			return cmd, "http://" + strings.TrimSpace(addr), debugURL
 		}
 	}
 	t.Fatalf("sweepd exited before its readiness line (scan err: %v)", sc.Err())
-	return nil, ""
+	return nil, "", ""
 }
 
 func TestSweepdEndToEnd(t *testing.T) {
@@ -136,6 +155,143 @@ func TestSweepdEndToEnd(t *testing.T) {
 	}
 	if code := cmd.ProcessState.ExitCode(); code != 0 {
 		t.Fatalf("sweepd exit = %d, want 0", code)
+	}
+}
+
+// sampleValue extracts one sample's value from a text exposition. The
+// name must match the whole sample name, labels included.
+func sampleValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 || line[:i] != name {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("sample %s has unparsable value %q", name, line[i+1:])
+		}
+		return v
+	}
+	t.Fatalf("sample %s not found in exposition", name)
+	return 0
+}
+
+// TestSweepdMetricsEndToEnd exercises the whole observability surface
+// through the real binary: a sweep with a caller-supplied request ID,
+// a /metrics scrape that must be well-formed and agree with /stats,
+// and a pprof fetch from the private -debug-addr listener.
+func TestSweepdMetricsEndToEnd(t *testing.T) {
+	cmd, url, debugURL := startSweepdDebug(t, "-debug-addr", "127.0.0.1:0")
+	if debugURL == "" {
+		t.Fatal("-debug-addr was set but no debug readiness line appeared")
+	}
+
+	req, err := http.NewRequest("POST", url+"/sweep",
+		strings.NewReader(`{"useful":[6,8],"benchmarks":["gcc"],"instructions":3000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "clitest-e2e-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("sweep status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "clitest-e2e-1" {
+		t.Errorf("X-Request-Id echoed as %q, want the inbound value", got)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Requests    int64 `json:"requests"`
+		CacheHits   int64 `json:"cache_hits"`
+		CacheMisses int64 `json:"cache_misses"`
+		PointsDone  int64 `json:"points_done"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// The scrape happens after /stats, so every counter the sweep moved
+	// is already settled; /stats itself is not metered as a sweep.
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != promtext.ContentType {
+		t.Errorf("metrics Content-Type = %q, want %q", ct, promtext.ContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := promtext.Lint(raw); err != nil {
+		t.Fatalf("exposition is malformed: %v", err)
+	}
+	exposition := string(raw)
+	for _, pair := range []struct {
+		sample string
+		want   int64
+	}{
+		{"sweep_requests_total", stats.Requests},
+		{"sweep_point_cache_hits_total", stats.CacheHits},
+		{"sweep_point_cache_misses_total", stats.CacheMisses},
+		{"sweep_points_done_total", stats.PointsDone},
+	} {
+		if got := sampleValue(t, exposition, pair.sample); got != float64(pair.want) {
+			t.Errorf("%s = %v, /stats says %d", pair.sample, got, pair.want)
+		}
+	}
+	if got := sampleValue(t, exposition, "sweep_requests_total"); got != 1 {
+		t.Errorf("sweep_requests_total = %v after one sweep, want 1", got)
+	}
+	if got := sampleValue(t, exposition, "sweep_request_seconds_count"); got < 1 {
+		t.Errorf("sweep_request_seconds_count = %v, want >= 1", got)
+	}
+
+	// The pprof surface answers only on the private listener.
+	resp, err = http.Get(debugURL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmdline, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(cmdline), "sweepd") {
+		t.Errorf("pprof cmdline %q does not name the binary", cmdline)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("sweepd did not exit cleanly on SIGTERM: %v", err)
 	}
 }
 

@@ -13,8 +13,10 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -53,6 +55,13 @@ type job struct {
 
 	waiters atomic.Int32
 	ran     bool // set by the worker that simulated it, read after the batch
+
+	// Tracing/metrics carry-alongs, observation-only by contract: the
+	// request ID of the request that created the job (joiners share it —
+	// singleflight means the origin's simulation serves them all) and
+	// the admission time feeding the queue-wait histogram.
+	origin   string
+	enqueued time.Time
 }
 
 // ticket is one point of one request's stream: either already resolved
@@ -75,6 +84,8 @@ type ticket struct {
 // reverse.
 type scheduler struct {
 	rec         *obs.Recorder
+	log         *slog.Logger
+	metrics     *serverMetrics
 	workers     int
 	codeVersion string
 	queueLimit  int
@@ -91,9 +102,17 @@ type scheduler struct {
 	stopped chan struct{}
 }
 
-func newScheduler(workers, queueLimit int, cache store.ResultStore, codeVersion string, rec *obs.Recorder) *scheduler {
+func newScheduler(workers, queueLimit int, cache store.ResultStore, codeVersion string, rec *obs.Recorder, log *slog.Logger, metrics *serverMetrics) *scheduler {
+	if log == nil {
+		log = slog.Default()
+	}
+	if metrics == nil {
+		metrics = &serverMetrics{} // nil instruments: every observation no-ops
+	}
 	s := &scheduler{
 		rec:         rec,
+		log:         log,
+		metrics:     metrics,
 		workers:     workers,
 		codeVersion: codeVersion,
 		queueLimit:  queueLimit,
@@ -110,20 +129,32 @@ func newScheduler(workers, queueLimit int, cache store.ResultStore, codeVersion 
 	return s
 }
 
+// admitStats is one request's admission classification, for the access
+// log and the request trace: how many of its points were already
+// resolved (hits, of which joins attached to in-flight work) versus
+// genuinely new (misses). hits+misses == points admitted.
+type admitStats struct {
+	hits   int
+	misses int
+	joins  int
+}
+
 // admit classifies each point of one request against the cache and the
 // in-flight registry, enqueues the genuinely new ones, and returns one
 // ticket per point in request order. keys[i] must be pts[i].Key(version)
-// and the (pts, keys) pair must already be deduplicated. When admitting
-// would push the queue past its depth limit nothing is enqueued and
-// ErrQueueFull is returned.
-func (s *scheduler) admit(pts []core.PointOptions, keys []string) ([]ticket, error) {
+// and the (pts, keys) pair must already be deduplicated; origin is the
+// requester's trace ID, carried by each newly created job. When
+// admitting would push the queue past its depth limit nothing is
+// enqueued and ErrQueueFull is returned.
+func (s *scheduler) admit(pts []core.PointOptions, keys []string, origin string) ([]ticket, admitStats, error) {
+	var adm admitStats
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
 	if s.closing {
 		// close() may already have run the dispatcher's final drain;
 		// enqueueing now would block the caller on a job nobody will run.
-		return nil, ErrStopped
+		return nil, adm, ErrStopped
 	}
 
 	// One store probe per key: the line (if resident or on disk) is held
@@ -143,14 +174,16 @@ func (s *scheduler) admit(pts []core.PointOptions, keys []string) ([]ticket, err
 		fresh++
 	}
 	if s.queueLimit > 0 && len(s.queue)+fresh > s.queueLimit {
-		s.rec.Add("requests_rejected", 1)
-		return nil, ErrQueueFull
+		// The HTTP layer accounts the rejection (by reason) so direct
+		// scheduler callers and requests share one counting site.
+		return nil, adm, ErrQueueFull
 	}
 
 	tickets := make([]ticket, 0, len(pts))
 	for i, k := range keys {
 		if lines[i] != nil {
 			s.rec.Add("point_cache_hits", 1)
+			adm.hits++
 			tickets = append(tickets, ticket{line: lines[i]})
 			continue
 		}
@@ -160,14 +193,18 @@ func (s *scheduler) admit(pts []core.PointOptions, keys []string) ([]ticket, err
 			j.waiters.Add(1)
 			s.rec.Add("point_cache_hits", 1)
 			s.rec.Add("dedup_joins", 1)
+			adm.hits++
+			adm.joins++
 			tickets = append(tickets, ticket{job: j})
 			continue
 		}
-		j := &job{key: k, opts: pts[i], done: make(chan struct{})}
+		j := &job{key: k, opts: pts[i], done: make(chan struct{}),
+			origin: origin, enqueued: time.Now()}
 		j.waiters.Add(1)
 		s.inflight[k] = j
 		s.queue = append(s.queue, j)
 		s.rec.Add("point_cache_misses", 1)
+		adm.misses++
 		tickets = append(tickets, ticket{job: j})
 	}
 
@@ -175,7 +212,7 @@ func (s *scheduler) admit(pts []core.PointOptions, keys []string) ([]ticket, err
 	case s.wake <- struct{}{}:
 	default:
 	}
-	return tickets, nil
+	return tickets, adm, nil
 }
 
 // release detaches one request from the tickets it never consumed (the
@@ -242,6 +279,7 @@ func (s *scheduler) runBatch(batch []*job) {
 	exec.MapWithState(pool, batch, pipeline.NewScratch,
 		func(sc *pipeline.Scratch, _ int, j *job) struct{} {
 			j.ran = true
+			s.metrics.queueWait.Observe(time.Since(j.enqueued).Seconds())
 			res, err := core.SimulatePointWith(j.opts, sc, s.rec)
 			if err != nil {
 				// Points are validated at admission, so this is a
@@ -264,6 +302,12 @@ func (s *scheduler) runBatch(batch []*job) {
 			s.rec.Add("wakeup_wakes", int64(res.Stats.WakeupWakes))
 			s.rec.Add("wakeup_scanned", int64(res.Stats.WakeupScanned))
 			s.finalize(j, line)
+			// The trace's scheduler hop: ties the simulation and store
+			// fill back to the request that caused them.
+			s.log.Debug("point simulated",
+				"request_id", j.origin,
+				"key", j.key,
+				"bytes", len(line))
 			return struct{}{}
 		})
 

@@ -362,9 +362,21 @@ func TestHealthzAndDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	h = Health{}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("draining healthz status = %d, want 503", resp.StatusCode)
+	}
+	// The body must say so too — a load balancer's health checker often
+	// reads the status field, not just the code.
+	if h.Status != "draining" {
+		t.Fatalf("draining healthz body status = %q, want draining", h.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining healthz without Retry-After")
 	}
 	sweep := postSweep(t, ts.URL, `{"useful":[8],"benchmarks":["gcc"],"instructions":4000}`)
 	sweep.Body.Close()
@@ -424,7 +436,7 @@ func TestAdmitAfterCloseFailsFast(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv.Close()
-	if _, err := srv.sched.admit(pts, keys); !errors.Is(err, ErrStopped) {
+	if _, _, err := srv.sched.admit(pts, keys, "test-origin"); !errors.Is(err, ErrStopped) {
 		t.Fatalf("admit after close: err = %v, want ErrStopped", err)
 	}
 }

@@ -96,6 +96,17 @@ type Config struct {
 
 	// Log receives request-level events; nil means slog.Default.
 	Log *slog.Logger
+
+	// DisableMetrics turns off the /metrics registry: the endpoint
+	// serves 404 and every instrument becomes a no-op. Request IDs and
+	// access logs stay on — they are part of the serving contract, not
+	// the scrape surface.
+	DisableMetrics bool
+
+	// SlowRequest is the latency threshold past which a completed
+	// request is logged at Warn and counted in
+	// sweep_slow_requests_total; 0 disables the slow log.
+	SlowRequest time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -158,9 +169,11 @@ type DeltaSource interface {
 type Server struct {
 	cfg      Config
 	rec      *obs.Recorder
+	metrics  *serverMetrics // always non-nil; nil instruments when disabled
 	sched    *scheduler
 	delta    DeltaSource // nil when the result store is memory-only
 	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in the tracing middleware
 	start    time.Time
 	draining atomic.Bool
 }
@@ -171,22 +184,28 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		rec:   cfg.Rec,
-		sched: newScheduler(cfg.Workers, cfg.QueueLimit, cfg.Store, cfg.CodeVersion, cfg.Rec),
 		mux:   http.NewServeMux(),
 		start: time.Now(), // uptime gauge only; /stats is off the deterministic result path
 	}
+	// Metrics before the scheduler: the registry's collectors close over
+	// s and only dereference s.sched at scrape time, while the scheduler
+	// needs the histogram handles at construction.
+	s.metrics = newServerMetrics(!cfg.DisableMetrics, s)
+	s.sched = newScheduler(cfg.Workers, cfg.QueueLimit, cfg.Store, cfg.CodeVersion, cfg.Rec, cfg.Log, s.metrics)
 	s.delta, _ = cfg.Store.(DeltaSource)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/results", s.handleResults)
+	s.mux.Handle("/metrics", s.metrics.reg.Handler())
+	s.handler = s.withTrace(s.mux)
 	return s
 }
 
 // ServeHTTP makes the Server mountable directly into http.Server and
 // httptest.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // BeginDrain stops admitting new sweeps (503) while letting accepted
@@ -210,6 +229,22 @@ func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// reject refuses one /sweep request: the reason lands in the reject
+// counter vec and the access log, the total mirrors into the recorder
+// (so /stats requests_rejected and /metrics agree), retryable statuses
+// carry Retry-After, and the body is the usual JSON error.
+func (s *Server) reject(w http.ResponseWriter, r *http.Request, status int, reason, format string, args ...any) {
+	if tr := traceFrom(r.Context()); tr != nil {
+		tr.reason = reason
+	}
+	s.rec.Add("requests_rejected", 1)
+	s.metrics.rejects.With(reason).Inc()
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
+	}
+	errorJSON(w, status, format, args...)
+}
+
 // handleSweep is POST /sweep: expand, admit, stream.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -217,16 +252,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusMethodNotAllowed, "POST a sweep request body to /sweep")
 		return
 	}
+	tr := traceFrom(r.Context())
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
-		errorJSON(w, http.StatusServiceUnavailable, "server is draining")
+		s.reject(w, r, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
 	var req SweepRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		errorJSON(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.reject(w, r, http.StatusBadRequest, "bad_request", "bad request body: %v", err)
 		return
 	}
 	pts, keys, err := req.Points(s.cfg.CodeVersion, Limits{
@@ -234,28 +269,40 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		MaxInstructions: s.cfg.MaxInstructions,
 	})
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, "%v", err)
+		s.reject(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 
-	tickets, err := s.sched.admit(pts, keys)
+	tickets, adm, err := s.sched.admit(pts, keys, tr.requestID())
 	if errors.Is(err, ErrQueueFull) {
-		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
-		errorJSON(w, http.StatusTooManyRequests, "%v", err)
+		s.reject(w, r, http.StatusTooManyRequests, "queue_full", "%v", err)
 		return
 	}
 	if err != nil {
 		// ErrStopped: Close won the race against this request's draining
 		// check; the dispatcher is gone, so admit refused the points.
-		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
-		errorJSON(w, http.StatusServiceUnavailable, "%v", err)
+		s.reject(w, r, http.StatusServiceUnavailable, "stopped", "%v", err)
 		return
 	}
 	s.rec.Add("requests", 1)
-	s.cfg.Log.Debug("sweep admitted", "points", len(pts))
+	if tr != nil {
+		tr.points, tr.hits, tr.joins = len(pts), adm.hits, adm.joins
+	}
+	s.cfg.Log.Debug("sweep admitted",
+		"request_id", tr.requestID(),
+		"points", len(pts),
+		"cache_hits", adm.hits,
+		"misses", adm.misses,
+		"dedup_joins", adm.joins)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
+	streamStart := time.Now()
+	defer func() {
+		// Observed on every exit — completion and mid-stream disconnects
+		// both shape the stream-duration distribution.
+		s.metrics.streamSeconds.Observe(time.Since(streamStart).Seconds())
+	}()
 	flusher, _ := w.(http.Flusher)
 	ctx := r.Context()
 
@@ -320,8 +367,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := Health{Status: "ok", QueueDepth: queued}
 	status := http.StatusOK
 	if s.draining.Load() {
+		// 503 + Retry-After: load balancers stop routing here while the
+		// drain finishes; the body says why.
 		h.Status = "draining"
 		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -358,6 +408,12 @@ type Stats struct {
 	Compactions int64  `json:"compactions"`
 	StoreCursor uint64 `json:"store_cursor"`
 
+	// Degraded-store operations (see store.Stats): nonzero means the
+	// daemon is serving but the segment log needs an operator.
+	DiskEntries       int   `json:"disk_entries"`
+	StoreAppendErrors int64 `json:"store_append_errors"`
+	StoreReadErrors   int64 `json:"store_read_errors"`
+
 	Requests      int64 `json:"requests"`
 	Rejected      int64 `json:"requests_rejected"`
 	Disconnects   int64 `json:"client_disconnects"`
@@ -388,6 +444,9 @@ func (s *Server) StatsSnapshot() Stats {
 		StoreBytes:     ss.StoreBytes,
 		Compactions:    ss.Compactions,
 		StoreCursor:    ss.Cursor,
+		DiskEntries:       ss.DiskEntries,
+		StoreAppendErrors: ss.AppendErrors,
+		StoreReadErrors:   ss.ReadErrors,
 		DedupJoins:     s.rec.Counter("dedup_joins"),
 		Requests:       s.rec.Counter("requests"),
 		Rejected:       s.rec.Counter("requests_rejected"),

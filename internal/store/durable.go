@@ -86,9 +86,11 @@ type Durable struct {
 	replayed int64
 	closed   bool
 
-	warmHits    atomic.Int64
-	diskHits    atomic.Int64
-	compactions atomic.Int64
+	warmHits     atomic.Int64
+	diskHits     atomic.Int64
+	compactions  atomic.Int64
+	appendErrors atomic.Int64
+	readErrors   atomic.Int64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -227,6 +229,8 @@ func (d *Durable) Get(key string) ([]byte, bool) {
 	if err != nil {
 		// A should-never-happen read failure degrades to a cache miss:
 		// the caller re-simulates and Put repairs the index.
+		d.readErrors.Add(1)
+		d.rec.Add("store_read_errors", 1)
 		d.slog.Warn("store: indexed record unreadable", "key", key, "err", err)
 		return nil, false
 	}
@@ -251,6 +255,8 @@ func (d *Durable) Put(key string, line []byte) {
 		// Disk trouble must not take serving down: keep the result in
 		// memory and let the operator see the failure.
 		d.mu.Unlock()
+		d.appendErrors.Add(1)
+		d.rec.Add("store_append_errors", 1)
 		d.slog.Error("store: append failed; result is memory-only", "key", key, "err", err)
 		d.mem.put(key, line, false)
 		return
@@ -426,6 +432,8 @@ func (d *Durable) Stats() Stats {
 	st.WarmHits = d.warmHits.Load()
 	st.DiskHits = d.diskHits.Load()
 	st.Compactions = d.compactions.Load()
+	st.AppendErrors = d.appendErrors.Load()
+	st.ReadErrors = d.readErrors.Load()
 	return st
 }
 

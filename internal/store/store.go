@@ -80,6 +80,13 @@ type Stats struct {
 	Compactions int64  `json:"compactions"`
 	Replayed    int64  `json:"replayed"`
 	Cursor      uint64 `json:"cursor"`
+
+	// AppendErrors / ReadErrors count the durable store's degraded
+	// operations: appends that failed (the result stayed memory-only)
+	// and indexed records that could not be re-read (served as a miss).
+	// Either being nonzero on a healthy disk is an operator alarm.
+	AppendErrors int64 `json:"append_errors"`
+	ReadErrors   int64 `json:"read_errors"`
 }
 
 // memEntry is one resident line in the LRU list; the element's Value is
