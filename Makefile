@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fuzz-smoke bench-smoke bench-compare telemetry-smoke serve-smoke store-smoke metrics-smoke cover profile check
+.PHONY: build test race vet lint lint-stats fuzz-smoke bench-smoke bench-compare telemetry-smoke serve-smoke store-smoke metrics-smoke cover profile check
 
 build:
 	$(GO) build ./...
@@ -15,18 +15,27 @@ vet:
 	$(GO) vet ./...
 
 # Static analysis: the repo's invariant-enforcing rule suite
-# (cmd/reprolint -list names the rules). Exits nonzero on any finding,
-# so a determinism or telemetry-inertness violation fails the build
-# instead of waiting for a regression test to sample it.
+# (cmd/reprolint -list names the rules), including the interprocedural
+# reachability rules and the serving-path concurrency rules. Exits
+# nonzero on any finding, so a determinism or telemetry-inertness
+# violation fails the build instead of waiting for a regression test to
+# sample it. -stats prints per-rule wall time to stderr.
 lint:
-	$(GO) run ./cmd/reprolint ./...
+	$(GO) run ./cmd/reprolint -stats ./...
 
-# A short fuzz pass over the two external input surfaces: the shared
-# CLI flag parser and the run-manifest validator. 10s per target keeps
-# it CI-sized; drop -fuzztime for a real hunt.
+# Per-rule wall time and finding counts as JSON on stdout, for the CI
+# timing artifact and local profiling of the rule suite.
+lint-stats:
+	$(GO) run ./cmd/reprolint -stats-json ./...
+
+# A short fuzz pass over the external input surfaces: the shared CLI
+# flag parser, the run-manifest validator, and the linter's suppression
+# directive parser. 10s per target keeps it CI-sized; drop -fuzztime
+# for a real hunt.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSimFlags -fuzztime 10s ./internal/cliflags
 	$(GO) test -run '^$$' -fuzz FuzzManifestCheck -fuzztime 10s ./cmd/manifestcheck
+	$(GO) test -run '^$$' -fuzz FuzzAllowDirective -fuzztime 10s ./internal/analysis
 
 # A fast pass over the benchmark harness: one iteration each, so every
 # experiment driver executes end to end without the full -bench cost.

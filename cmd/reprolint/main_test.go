@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -149,5 +150,207 @@ func TestListAndRules(t *testing.T) {
 	}
 	if code := run([]string{"-rules", "nosuchrule"}, &out, &errb); code != 2 {
 		t.Errorf("unknown -rules exit = %d, want 2", code)
+	}
+}
+
+// The transitive-violation module: the sim entry point is clean, but it
+// calls a helper package that no per-package scope covers; only the
+// interprocedural reachability pass can catch the clock read, and the
+// finding must carry the call chain.
+var transitiveModule = map[string]string{
+	"go.mod": "module faux\n\ngo 1.22\n",
+	"internal/core/core.go": `// Package core drives points.
+package core
+
+import "faux/internal/util"
+
+// SimulatePoint is the entry point the reachability rules root at.
+func SimulatePoint(x float64) float64 { return util.Jitter(x) }
+`,
+	"internal/util/util.go": `// Package util sits outside every per-package scope.
+package util
+
+import "time"
+
+// Jitter perturbs its input by the clock.
+func Jitter(x float64) float64 { return x * float64(time.Now().Unix()%2+1) }
+`,
+}
+
+// TestTransitiveViolation is the interprocedural acceptance check: a
+// banned callee two packages away from the entry point, in a package
+// the per-package scopes ignore, must be reported with the full call
+// chain from the entry point.
+func TestTransitiveViolation(t *testing.T) {
+	root := writeModule(t, transitiveModule)
+	chdir(t, root)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"internal/util/util.go:7: nondeterminism:",
+		"[via internal/core.SimulatePoint -> internal/util.Jitter]",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	// The same pass must stay quiet when the helper is clean.
+	clean := map[string]string{}
+	for k, v := range transitiveModule {
+		clean[k] = v
+	}
+	clean["internal/util/util.go"] = "// Package util is pure.\npackage util\n\n// Jitter is the identity.\nfunc Jitter(x float64) float64 { return x }\n"
+	root2 := writeModule(t, clean)
+	chdir(t, root2)
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("clean transitive module exit = %d; stdout: %s stderr: %s", code, out.String(), errb.String())
+	}
+}
+
+// TestJSONSchema pins the -json output shape: exactly these keys, with
+// chain present only on reachability findings. Downstream tooling
+// (baselines, dashboards) parses this; changing it is a contract break.
+func TestJSONSchema(t *testing.T) {
+	root := writeModule(t, transitiveModule)
+	chdir(t, root)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &raw); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	if len(raw) != 1 {
+		t.Fatalf("want exactly 1 finding, got %d: %s", len(raw), out.String())
+	}
+	keys := make([]string, 0, len(raw[0]))
+	for k := range raw[0] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	want := []string{"chain", "col", "file", "line", "message", "rule"}
+	if strings.Join(keys, ",") != strings.Join(want, ",") {
+		t.Errorf("-json finding keys = %v, want %v", keys, want)
+	}
+	chain, ok := raw[0]["chain"].([]any)
+	if !ok || len(chain) != 2 {
+		t.Errorf("chain should be a 2-element array, got %v", raw[0]["chain"])
+	}
+
+	// A per-package finding carries no chain key at all (omitempty).
+	root2 := writeModule(t, map[string]string{
+		"go.mod":                      "module faux\n\ngo 1.22\n",
+		"internal/circuit/circuit.go": injectedCircuit,
+	})
+	chdir(t, root2)
+	out.Reset()
+	if code := run([]string{"-json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	raw = nil
+	if err := json.Unmarshal(out.Bytes(), &raw); err != nil {
+		t.Fatalf("-json output does not parse: %v", err)
+	}
+	if len(raw) != 1 {
+		t.Fatalf("want exactly 1 finding, got %d", len(raw))
+	}
+	if _, has := raw[0]["chain"]; has {
+		t.Errorf("per-package finding should omit the chain key, got %v", raw[0])
+	}
+}
+
+// TestBaseline: -write-baseline records the current findings; -baseline
+// forgives exactly those and fails only on regressions.
+func TestBaseline(t *testing.T) {
+	root := writeModule(t, transitiveModule)
+	chdir(t, root)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-write-baseline", "findings.json", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("-write-baseline exit = %d; stderr: %s", code, errb.String())
+	}
+
+	// Same findings, baselined: no regressions, exit 0.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", "findings.json", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0; stdout: %s stderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "no regressions") {
+		t.Errorf("stderr should note the baselined findings: %s", errb.String())
+	}
+
+	// Inject a second, different violation: only it is a regression.
+	if err := os.WriteFile(filepath.Join(root, "internal", "core", "extra.go"), []byte(`// Package core grows a clock read.
+package core
+
+import "time"
+
+// Drift reads the wall clock.
+func Drift() int64 { return time.Now().Unix() }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", "findings.json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("regression run exit = %d, want 1; stdout: %s stderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "internal/core/extra.go:7: nondeterminism:") {
+		t.Errorf("regression finding missing from output:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "internal/util/util.go") {
+		t.Errorf("baselined finding should not be re-reported:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "new finding(s) beyond") {
+		t.Errorf("stderr should separate regressions from baselined findings: %s", errb.String())
+	}
+
+	// A missing baseline file is a usage error, not a silent pass.
+	if code := run([]string{"-baseline", "nosuch.json", "./..."}, &out, &errb); code != 2 {
+		t.Errorf("missing baseline exit = %d, want 2", code)
+	}
+}
+
+// TestStatsJSON: -stats-json emits one row per rule (plus the shared
+// callgraph construction row) with non-negative wall times.
+func TestStatsJSON(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":                      "module faux\n\ngo 1.22\n",
+		"internal/circuit/circuit.go": cleanCircuit,
+	})
+	chdir(t, root)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-stats-json", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, errb.String())
+	}
+	var stats []analysis.RuleStat
+	if err := json.Unmarshal(out.Bytes(), &stats); err != nil {
+		t.Fatalf("-stats-json output does not parse: %v\n%s", err, out.String())
+	}
+	seen := map[string]bool{}
+	for _, s := range stats {
+		if s.Seconds < 0 {
+			t.Errorf("rule %s has negative wall time %v", s.Rule, s.Seconds)
+		}
+		seen[s.Rule] = true
+	}
+	for _, a := range analysis.Analyzers() {
+		if !seen[a.Name] {
+			t.Errorf("-stats-json missing a row for rule %s", a.Name)
+		}
+	}
+	if !seen["callgraph"] {
+		t.Errorf("-stats-json missing the callgraph construction row")
 	}
 }

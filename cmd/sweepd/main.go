@@ -131,6 +131,7 @@ func main() {
 		dbg := &http.Server{Handler: dmux}
 		// No shutdown plumbing: the debug listener is an operator tap
 		// that lives and dies with the process.
+		//reprolint:allow gojoin: operator tap with process lifetime; no shutdown plumbing by design
 		go dbg.Serve(dln) //reprolint:allow goroutinescope: the debug listener serves pprof beside the main accept loop; it runs no simulation and dies with the process
 	}
 
@@ -150,6 +151,7 @@ func main() {
 	// The listener needs its own goroutine so main can watch for
 	// signals; all simulation work stays behind the deterministic
 	// executor inside internal/serve.
+	//reprolint:allow gojoin: the accept loop joins through the buffered errc receive in the select below and dies with the process
 	go func() { errc <- hs.Serve(ln) }() //reprolint:allow goroutinescope: the HTTP accept loop must run beside the signal watcher; simulation parallelism stays behind exec.MapWithState
 
 	exit := 0

@@ -26,10 +26,13 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
-// An Analyzer is one named rule. Run inspects a single type-checked
-// package and reports findings through the pass.
+// An Analyzer is one named rule. Per-package rules implement Run, which
+// inspects a single type-checked package; whole-program rules implement
+// RunModule, which sees every selected package at once plus the
+// interprocedural call graph. A rule may implement either or both.
 type Analyzer struct {
 	// Name is the rule name, as printed in findings and matched by
 	// //reprolint:allow directives.
@@ -39,10 +42,15 @@ type Analyzer struct {
 	// Appl reports whether the rule applies to a package, identified by
 	// its module-root-relative directory ("" is the module root,
 	// "internal/core", "cmd/pipesweep", ...). A nil Appl applies
-	// everywhere.
+	// everywhere. Per-package Run passes skip packages outside the
+	// scope; module rules consult it through ModulePass.InScope.
 	Appl func(rel string) bool
-	// Run inspects one package and reports findings.
+	// Run inspects one package and reports findings. May be nil for
+	// module-only rules.
 	Run func(*Pass)
+	// RunModule inspects the whole selected package set with the call
+	// graph available. May be nil for per-package rules.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one (analyzer, package) unit of work.
@@ -60,32 +68,79 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, makeFinding(p.Fset, p.root, p.rule, pos, nil, format, args...))
+}
+
+// ModulePass carries one whole-program rule's view: every selected
+// package, the call graph over them, and the reporting sink.
+type ModulePass struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	Graph *CallGraph
+	// Mod is the module path; rules use it to identify module types
+	// without hardcoding the module name.
+	Mod string
+
+	root        string
+	rule        string
+	ignoreScope bool
+	findings    *[]Finding
+}
+
+// InScope applies the analyzer's package predicate, honoring the
+// fixture tests' IgnoreScope option.
+func (mp *ModulePass) InScope(appl func(string) bool, rel string) bool {
+	return mp.ignoreScope || appl == nil || appl(rel)
+}
+
+// Reportf records a finding at pos.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	mp.ReportChain(pos, nil, format, args...)
+}
+
+// ReportChain records a finding at pos carrying the call chain that
+// makes the violation reachable (entry point first, violating function
+// last).
+func (mp *ModulePass) ReportChain(pos token.Pos, chain []string, format string, args ...any) {
+	*mp.findings = append(*mp.findings, makeFinding(mp.Fset, mp.root, mp.rule, pos, chain, format, args...))
+}
+
+func makeFinding(fset *token.FileSet, root, rule string, pos token.Pos, chain []string, format string, args ...any) Finding {
+	position := fset.Position(pos)
 	file := position.Filename
-	if rel, err := filepath.Rel(p.root, file); err == nil && !strings.HasPrefix(rel, "..") {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
 		file = filepath.ToSlash(rel)
 	}
-	*p.findings = append(*p.findings, Finding{
+	return Finding{
 		File:    file,
 		Line:    position.Line,
 		Col:     position.Column,
-		Rule:    p.rule,
+		Rule:    rule,
 		Message: fmt.Sprintf(format, args...),
-	})
+		Chain:   chain,
+	}
 }
 
-// Finding is one reported violation.
+// Finding is one reported violation. Chain, when present, is the call
+// chain that makes a reachability violation concrete: entry point
+// first, the function containing the flagged site last.
 type Finding struct {
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Rule    string `json:"rule"`
-	Message string `json:"message"`
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Col     int      `json:"col"`
+	Rule    string   `json:"rule"`
+	Message string   `json:"message"`
+	Chain   []string `json:"chain,omitempty"`
 }
 
-// String renders the canonical "file:line: rule: message" form.
+// String renders the canonical "file:line: rule: message" form, with
+// the call chain appended when the finding carries one.
 func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Rule, f.Message)
+	s := fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Rule, f.Message)
+	if len(f.Chain) > 0 {
+		s += " [via " + strings.Join(f.Chain, " -> ") + "]"
+	}
+	return s
 }
 
 // DirectiveRule is the pseudo-rule name under which malformed or
@@ -115,6 +170,21 @@ type Options struct {
 	// its Appl predicate. Fixture tests use it, since fixture packages
 	// live under testdata and no real scope matches them.
 	IgnoreScope bool
+
+	// Now, when non-nil, is the clock RunStats times each rule with.
+	// The clock is injected by the driver (cmd/reprolint) rather than
+	// read here so this package stays inside its own nondeterminism
+	// scope; a nil Now leaves every duration zero.
+	Now func() time.Time
+}
+
+// RuleStat is one rule's runtime accounting from a RunStats call. The
+// pseudo-rule "callgraph" carries the one-time graph construction cost
+// shared by every module rule.
+type RuleStat struct {
+	Rule     string  `json:"rule"`
+	Seconds  float64 `json:"seconds"`
+	Findings int     `json:"findings"`
 }
 
 // Run applies the analyzers to the packages, resolves suppression
@@ -123,22 +193,62 @@ type Options struct {
 // directive that suppresses nothing — come back as findings under the
 // "directive" pseudo-rule, so the suite fails closed.
 func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer, opts Options) []Finding {
+	findings, _ := RunStats(l, pkgs, analyzers, opts)
+	return findings
+}
+
+// RunStats is Run plus per-rule timing and post-suppression finding
+// counts, for the lint-stats surface. Durations are zero unless
+// opts.Now is set.
+func RunStats(l *Loader, pkgs []*Package, analyzers []*Analyzer, opts Options) ([]Finding, []RuleStat) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	now := opts.Now
+	if now == nil {
+		now = func() time.Time { return time.Time{} }
+	}
 
+	var stats []RuleStat
 	var raw []Finding
+
+	// The call graph is built once, lazily, the first time a module
+	// rule asks for it; its cost is reported as its own stat row.
+	var graph *CallGraph
+	graphOf := func() *CallGraph {
+		if graph == nil {
+			t0 := now()
+			graph = NewCallGraph(l.Fset(), l.ModulePath, pkgs)
+			stats = append(stats, RuleStat{Rule: "callgraph", Seconds: now().Sub(t0).Seconds()})
+		}
+		return graph
+	}
+
+	for _, a := range analyzers {
+		t0 := now()
+		if a.Run != nil {
+			for _, pkg := range pkgs {
+				if !opts.IgnoreScope && a.Appl != nil && !a.Appl(pkg.Rel) {
+					continue
+				}
+				pass := &Pass{Fset: l.Fset(), Pkg: pkg, Mod: l.ModulePath, root: l.Root, rule: a.Name, findings: &raw}
+				a.Run(pass)
+			}
+		}
+		if a.RunModule != nil {
+			g := graphOf()
+			t0 = now() // charge graph construction to its own row, not the first user
+			mp := &ModulePass{Fset: l.Fset(), Pkgs: pkgs, Graph: g, Mod: l.ModulePath,
+				root: l.Root, rule: a.Name, ignoreScope: opts.IgnoreScope, findings: &raw}
+			a.RunModule(mp)
+		}
+		stats = append(stats, RuleStat{Rule: a.Name, Seconds: now().Sub(t0).Seconds()})
+	}
+
 	var dirs []directive
 	var dirErrs []Finding
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if !opts.IgnoreScope && a.Appl != nil && !a.Appl(pkg.Rel) {
-				continue
-			}
-			pass := &Pass{Fset: l.Fset(), Pkg: pkg, Mod: l.ModulePath, root: l.Root, rule: a.Name, findings: &raw}
-			a.Run(pass)
-		}
 		d, errs := collectDirectives(l, pkg, known)
 		dirs = append(dirs, d...)
 		dirErrs = append(dirErrs, errs...)
@@ -153,7 +263,46 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer, opts Options) []Find
 	}
 	kept = append(kept, dirErrs...)
 	sortFindings(kept)
-	return kept
+
+	byRule := map[string]int{}
+	for _, f := range kept {
+		byRule[f.Rule]++
+	}
+	for i := range stats {
+		stats[i].Findings = byRule[stats[i].Rule]
+	}
+	return kept, stats
+}
+
+// parseAllowDirective parses a single comment's text as a
+// //reprolint:allow directive. isDirective is false when the comment is
+// not a reprolint directive at all (no prefix, or a longer token such
+// as //reprolint:allowlist). For a recognized directive, either rule
+// and why carry the parsed parts (errMsg empty), or errMsg carries the
+// fail-closed finding message and rule/why are empty. This is the pure
+// core of the directive system; the fuzz target drives it directly.
+func parseAllowDirective(text string, known map[string]bool) (rule, why, errMsg string, isDirective bool) {
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return "", "", "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", "", false // some other //reprolint:allowfoo token, not ours
+	}
+	rule, why, hasWhy := strings.Cut(strings.TrimSpace(rest), ":")
+	rule = strings.TrimSpace(rule)
+	why = strings.TrimSpace(why)
+	switch {
+	case rule == "":
+		return "", "", "malformed directive: want //reprolint:allow <rule>: <why>", true
+	case strings.ContainsAny(rule, " \t"):
+		return "", "", fmt.Sprintf("malformed directive %q: suppress one rule per directive, as //reprolint:allow <rule>: <why>", rule), true
+	case !known[rule]:
+		return "", "", fmt.Sprintf("unknown rule %q in suppression directive (known rules: %s)", rule, strings.Join(sortedKeys(known), ", ")), true
+	case !hasWhy || why == "":
+		return "", "", fmt.Sprintf("suppression of %q is missing its justification: use //reprolint:allow %s: <why>", rule, rule), true
+	}
+	return rule, why, "", true
 }
 
 // collectDirectives parses every //reprolint:allow comment in the
@@ -165,8 +314,8 @@ func collectDirectives(l *Loader, pkg *Package, known map[string]bool) ([]direct
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
-				if !ok {
+				rule, why, errMsg, isDirective := parseAllowDirective(c.Text, known)
+				if !isDirective {
 					continue
 				}
 				pos := l.Fset().Position(c.Pos())
@@ -174,30 +323,13 @@ func collectDirectives(l *Loader, pkg *Package, known map[string]bool) ([]direct
 				if rel, err := filepath.Rel(l.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
 					file = filepath.ToSlash(rel)
 				}
-				bad := func(format string, args ...any) {
+				if errMsg != "" {
 					errs = append(errs, Finding{
-						File: file, Line: pos.Line, Rule: DirectiveRule,
-						Message: fmt.Sprintf(format, args...),
+						File: file, Line: pos.Line, Rule: DirectiveRule, Message: errMsg,
 					})
+					continue
 				}
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					continue // some other //reprolint:allowfoo token, not ours
-				}
-				rule, why, hasWhy := strings.Cut(strings.TrimSpace(rest), ":")
-				rule = strings.TrimSpace(rule)
-				why = strings.TrimSpace(why)
-				switch {
-				case rule == "":
-					bad("malformed directive: want //reprolint:allow <rule>: <why>")
-				case strings.ContainsAny(rule, " \t"):
-					bad("malformed directive %q: suppress one rule per directive, as //reprolint:allow <rule>: <why>", rule)
-				case !known[rule]:
-					bad("unknown rule %q in suppression directive (known rules: %s)", rule, strings.Join(sortedKeys(known), ", "))
-				case !hasWhy || why == "":
-					bad("suppression of %q is missing its justification: use //reprolint:allow %s: <why>", rule, rule)
-				default:
-					out = append(out, directive{file: file, line: pos.Line, rule: rule, why: why})
-				}
+				out = append(out, directive{file: file, line: pos.Line, rule: rule, why: why})
 			}
 		}
 	}
@@ -248,7 +380,7 @@ func sortFindings(fs []Finding) {
 
 func sortedKeys(m map[string]bool) []string {
 	ks := make([]string, 0, len(m))
-	for k := range m {
+	for k := range m { //reprolint:allow mapiter: rule-name list for an error message; sorted on the next line
 		ks = append(ks, k)
 	}
 	sort.Strings(ks)

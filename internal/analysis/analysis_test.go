@@ -123,6 +123,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"traceimmutable", "traceimmutable"},
 		{"obsinert", "obsinert"},
 		{"goroutinescope", "goroutinescope"},
+		{"lockorder", "lockorder"},
+		{"ctxcancel", "ctxcancel"},
+		{"gojoin", "gojoin"},
 	} {
 		t.Run(tc.rule, func(t *testing.T) {
 			az, unknown := analysis.ByName([]string{tc.rule})
@@ -152,6 +155,11 @@ func TestAnalyzerFixtures(t *testing.T) {
 func TestScopes(t *testing.T) {
 	appl := map[string]func(string) bool{}
 	for _, a := range analysis.Analyzers() {
+		if a.Appl == nil {
+			// A nil Appl applies everywhere (gojoin).
+			appl[a.Name] = func(string) bool { return true }
+			continue
+		}
 		appl[a.Name] = a.Appl
 	}
 	for _, tc := range []struct {
@@ -161,10 +169,13 @@ func TestScopes(t *testing.T) {
 		{"nondeterminism", "internal/core", true},
 		{"nondeterminism", "internal/exec", true},
 		{"nondeterminism", "internal/obs", true},
+		{"nondeterminism", "internal/analysis", true},
+		{"nondeterminism", "internal/obs/promtext", true},
 		{"nondeterminism", "cmd/pipesweep", false},
 		{"mapiter", "internal/core", true},
 		{"mapiter", "internal/obs", false},
-		{"mapiter", "internal/analysis", false},
+		{"mapiter", "internal/analysis", true},
+		{"mapiter", "internal/obs/promtext", true},
 		{"traceimmutable", "internal/trace", false},
 		{"traceimmutable", "internal/pipeline", true},
 		{"traceimmutable", "cmd/pipesweep", true},
@@ -177,6 +188,15 @@ func TestScopes(t *testing.T) {
 		{"goroutinescope", "internal/obs/promtext", true},
 		{"goroutinescope", "internal/core", true},
 		{"goroutinescope", "cmd/pipesweep", true},
+		{"lockorder", "internal/serve", true},
+		{"lockorder", "internal/store", true},
+		{"lockorder", "internal/core", false},
+		{"ctxcancel", "internal/serve", true},
+		{"ctxcancel", "internal/store", true},
+		{"ctxcancel", "internal/exec", false},
+		{"gojoin", "internal/serve", true},
+		{"gojoin", "cmd/sweepd", true},
+		{"gojoin", "internal/core", true},
 	} {
 		if got := appl[tc.rule](tc.rel); got != tc.want {
 			t.Errorf("%s.Appl(%q) = %v, want %v", tc.rule, tc.rel, got, tc.want)

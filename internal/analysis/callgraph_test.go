@@ -1,0 +1,89 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// graphOver builds the call graph over one fixture package.
+func graphOver(t *testing.T, rel string) (*analysis.CallGraph, func(suffix string) *analysis.Node) {
+	t.Helper()
+	l := loader(t)
+	p := fixture(t, l, rel)
+	g := analysis.NewCallGraph(l.Fset(), l.ModulePath, []*analysis.Package{p})
+	find := func(suffix string) *analysis.Node {
+		t.Helper()
+		for _, n := range g.Nodes() {
+			if strings.HasSuffix(n.Name, suffix) {
+				return n
+			}
+		}
+		t.Fatalf("no node with name suffix %q; have %v", suffix, nodeNames(g))
+		return nil
+	}
+	return g, find
+}
+
+func nodeNames(g *analysis.CallGraph) []string {
+	var out []string
+	for _, n := range g.Nodes() {
+		out = append(out, n.Name)
+	}
+	return out
+}
+
+// TestCallGraphDispatch pins the conservatism model: an interface call
+// fans out to every satisfying implementation (value and pointer
+// receivers), and a function referenced as a value — never called —
+// still gets an edge.
+func TestCallGraphDispatch(t *testing.T) {
+	_, find := graphOver(t, "callgraph/iface")
+	drive := find("iface.Drive")
+	fastDo := find("Fast).Do")
+	slowDo := find("Slow).Do")
+	value := find("iface.Value")
+	helper := find("iface.helper")
+
+	targets := map[*analysis.Node]bool{}
+	for _, e := range drive.Edges() {
+		targets[e.To] = true
+	}
+	if !targets[fastDo] || !targets[slowDo] {
+		t.Errorf("Drive's interface call should fan out to both Do implementations; edges hit %v", targets)
+	}
+
+	var valueHitsHelper bool
+	for _, e := range value.Edges() {
+		if e.To == helper {
+			valueHitsHelper = true
+		}
+	}
+	if !valueHitsHelper {
+		t.Errorf("Value references helper as a function value; the graph must assume it may be called")
+	}
+}
+
+// TestReachChains pins BFS reachability and shortest-chain rendering.
+func TestReachChains(t *testing.T) {
+	g, find := graphOver(t, "callgraph/iface")
+	drive := find("iface.Drive")
+	fastDo := find("Fast).Do")
+	helper := find("iface.helper")
+
+	reach := g.ReachableFrom([]*analysis.Node{drive})
+	if !reach.Contains(fastDo) {
+		t.Fatalf("Fast.Do should be reachable from Drive")
+	}
+	if reach.Contains(helper) {
+		t.Errorf("helper is not reachable from Drive, yet Contains reports it")
+	}
+	chain := reach.Chain(fastDo)
+	if len(chain) != 2 || !strings.HasSuffix(chain[0], "Drive") || !strings.HasSuffix(chain[1], "Do") {
+		t.Errorf("Chain(Fast.Do) = %v, want [..Drive ..Do]", chain)
+	}
+	if got := reach.Chain(helper); got != nil {
+		t.Errorf("Chain of an unreachable node should be nil, got %v", got)
+	}
+}

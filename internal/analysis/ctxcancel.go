@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxCancelAnalyzer enforces that every blocking operation reachable
+// from an HTTP handler sits on a context-cancellable path. A bare
+// channel send, bare receive, select without a ctx.Done (or default)
+// case, time.Sleep, or WaitGroup.Wait on a request path means a client
+// disconnect cannot unwind the request: the goroutine parks forever and
+// the admission slot leaks. Handlers are found by signature —
+// func(http.ResponseWriter, *http.Request), declared or as a closure —
+// and the rule walks everything they can reach through the call graph.
+func CtxCancelAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "ctxcancel",
+		Doc:       "blocking operations reachable from an HTTP handler must be context-cancellable: a client disconnect has to unwind the request path",
+		Appl:      inServing,
+		RunModule: runCtxCancel,
+	}
+}
+
+func runCtxCancel(mp *ModulePass) {
+	g := mp.Graph
+	var roots []*Node
+	for _, n := range g.Nodes() {
+		if isHandlerNode(n) {
+			roots = append(roots, n)
+		}
+	}
+	reach := g.ReachableFrom(roots)
+	for _, n := range g.Nodes() {
+		if !mp.InScope(inServing, n.Rel) || !reach.Contains(n) || n.Decl.Body == nil {
+			continue
+		}
+		scanBlocking(mp, n, reach.Chain(n))
+	}
+}
+
+// isHandlerNode reports whether the node is an HTTP handler: its own
+// signature is func(http.ResponseWriter, *http.Request), or its body
+// builds a closure with that signature (middleware constructors — the
+// closure's blocking sites are attributed to the enclosing function).
+func isHandlerNode(n *Node) bool {
+	if sig, ok := n.Fn.Type().(*types.Signature); ok && isHandlerSig(sig) {
+		return true
+	}
+	if n.Decl.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok {
+			if tv, ok := n.Pkg.Info.Types[lit]; ok {
+				if sig, ok := tv.Type.(*types.Signature); ok && isHandlerSig(sig) {
+					found = true
+					return false
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isHandlerSig(sig *types.Signature) bool {
+	if sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return false
+	}
+	return isNetHTTPType(sig.Params().At(0).Type(), "ResponseWriter") &&
+		isNetHTTPType(sig.Params().At(1).Type(), "Request")
+}
+
+func isNetHTTPType(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == name
+}
+
+// scanBlocking flags the handler-reachable blocking operations in one
+// function body. Channel operations lexically inside a cancellable
+// select (one with a ctx.Done receive or a default case) are fine;
+// receiving directly from ctx.Done is the cancellation wait itself.
+// Goroutine bodies are skipped — a spawned goroutine does not block the
+// request; whether it can be stopped is the gojoin rule's question.
+func scanBlocking(mp *ModulePass, n *Node, chain []string) {
+	info := n.Pkg.Info
+
+	// First pass: intervals covered by a cancellable select, and go
+	// statements to skip.
+	type span struct{ lo, hi token.Pos }
+	var prot, skip []span
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.SelectStmt:
+			if selectCancellable(info, x) {
+				prot = append(prot, span{x.Pos(), x.End()})
+			}
+		case *ast.GoStmt:
+			skip = append(skip, span{x.Pos(), x.End()})
+		}
+		return true
+	})
+	in := func(spans []span, pos token.Pos) bool {
+		for _, s := range spans {
+			if s.lo <= pos && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		pos := token.NoPos
+		if node != nil {
+			pos = node.Pos()
+		}
+		if node == nil || in(skip, pos) {
+			return node == nil
+		}
+		switch x := node.(type) {
+		case *ast.SendStmt:
+			if !in(prot, pos) {
+				mp.ReportChain(pos, chain, "blocking channel send on a handler-reachable path with no ctx.Done escape; a disconnected client cannot unwind it — select on the send with ctx.Done()")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !in(prot, pos) && !isDoneRecv(info, x.X) {
+				mp.ReportChain(pos, chain, "blocking channel receive on a handler-reachable path with no ctx.Done escape; a disconnected client cannot unwind it — select on the receive with ctx.Done()")
+			}
+		case *ast.SelectStmt:
+			if !in(prot, pos) {
+				mp.ReportChain(pos, chain, "select on a handler-reachable path has neither a ctx.Done case nor a default; add one so client disconnects unwind the request")
+				// Cover the comm clauses so each op is not re-flagged.
+				prot = append(prot, span{x.Pos(), x.End()})
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, x); fn != nil {
+				switch fn.FullName() {
+				case "time.Sleep":
+					mp.ReportChain(pos, chain, "time.Sleep on a handler-reachable path cannot be cancelled; use a timer in a select with ctx.Done()")
+				case "(*sync.WaitGroup).Wait":
+					mp.ReportChain(pos, chain, "WaitGroup.Wait on a handler-reachable path cannot be cancelled by a client disconnect; wait in a goroutine and select on completion vs ctx.Done()")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// selectCancellable reports whether the select has an escape hatch: a
+// default case, or a case receiving from a context's Done channel.
+func selectCancellable(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		comm, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if comm.Comm == nil {
+			return true // default case: the select cannot park
+		}
+		var recv ast.Expr
+		switch s := comm.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				recv = u.X
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					recv = u.X
+				}
+			}
+		}
+		if recv != nil && isDoneChan(info, recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDoneRecv reports whether a receive operand is a context Done
+// channel — waiting on cancellation is itself cancellable.
+func isDoneRecv(info *types.Info, operand ast.Expr) bool {
+	return isDoneChan(info, operand)
+}
+
+func isDoneChan(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.FullName() == "(context.Context).Done"
+}
+
+// calleeFunc resolves a call's static callee object, nil for dynamic
+// calls and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAllowDirective hammers the suppression-directive parser, the one
+// piece of the linter that consumes arbitrary text from source
+// comments. The properties under test are the fail-closed contract:
+// a malformed directive must never yield a usable (rule, why) pair, a
+// well-formed one must name a known rule and carry a justification, and
+// unrelated comments must be ignored entirely.
+func FuzzAllowDirective(f *testing.F) {
+	known := map[string]bool{"nondeterminism": true, "mapiter": true}
+	for _, seed := range []string{
+		"//reprolint:allow nondeterminism: wall time feeds the manifest only",
+		"//reprolint:allow mapiter: sorted on the next line",
+		"//reprolint:allow nondeterminism:",
+		"//reprolint:allow nondeterminism",
+		"//reprolint:allow nosuchrule: why",
+		"//reprolint:allow two rules: why",
+		"//reprolint:allow : why",
+		"//reprolint:allow",
+		"//reprolint:allow\t mapiter \t:  padded  ",
+		"//reprolint:allowlist mapiter: longer token is not ours",
+		"//reprolint:allower",
+		"// an ordinary comment",
+		"//reprolint:deny mapiter: wrong verb",
+		"//reprolint:allow mapiter: why: with: extra: colons",
+		"//reprolint:allow mapiter: nbsp why",
+		"//reprolint:allow \x00rule: why",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		rule, why, errMsg, isDirective := parseAllowDirective(text, known)
+
+		if !isDirective {
+			if rule != "" || why != "" || errMsg != "" {
+				t.Fatalf("non-directive %q produced output: rule=%q why=%q err=%q", text, rule, why, errMsg)
+			}
+			// Only a genuine prefix mismatch (or a longer token) may be
+			// ignored; a real directive must never fall through.
+			if strings.HasPrefix(text, directivePrefix) {
+				rest := strings.TrimPrefix(text, directivePrefix)
+				if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+					t.Fatalf("directive-shaped comment %q was ignored", text)
+				}
+			}
+			return
+		}
+		if !strings.HasPrefix(text, directivePrefix) {
+			t.Fatalf("input %q without the directive prefix was treated as a directive", text)
+		}
+		if errMsg != "" {
+			// Fail closed: a malformed directive yields no suppression.
+			if rule != "" || why != "" {
+				t.Fatalf("malformed directive %q still returned rule=%q why=%q", text, rule, why)
+			}
+			return
+		}
+		// Well-formed: the rule must be known, single-token, justified.
+		if !known[rule] {
+			t.Fatalf("parsed unknown rule %q from %q", rule, text)
+		}
+		if strings.ContainsAny(rule, " \t") {
+			t.Fatalf("parsed multi-token rule %q from %q", rule, text)
+		}
+		if why == "" {
+			t.Fatalf("parsed directive %q with empty justification", text)
+		}
+
+		// Parsing is a pure function of its input.
+		r2, w2, e2, d2 := parseAllowDirective(text, known)
+		if r2 != rule || w2 != why || e2 != errMsg || d2 != isDirective {
+			t.Fatalf("parse of %q is not deterministic", text)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoJoinAnalyzer generalizes the goroutinescope whitelist into a
+// checked property: every `go` statement, anywhere in the module, must
+// have a provable join or stop edge — the spawned code signals a
+// sync.WaitGroup, drains a channel by ranging over it (joined by
+// close), or waits on a stop/context channel. A goroutine with none of
+// these outlives its owner: it leaks across requests, holds references
+// past shutdown, and turns clean SIGTERM drains into hangs. A `go`
+// launching a dynamic function value is unprovable and flagged.
+func GoJoinAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "gojoin",
+		Doc:       "every go statement needs a provable join/stop edge: WaitGroup.Done, range-over-channel drain, or a stop/context channel receive",
+		RunModule: runGoJoin,
+	}
+}
+
+func runGoJoin(mp *ModulePass) {
+	g := mp.Graph
+	for _, n := range g.Nodes() {
+		if !mp.InScope(nil, n.Rel) || n.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			gs, ok := node.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(mp, n, gs)
+			return true
+		})
+	}
+}
+
+// checkGoStmt looks for join evidence in the spawned code: the
+// goroutine body itself (for a literal) plus everything statically
+// reachable from it through the call graph.
+func checkGoStmt(mp *ModulePass, n *Node, gs *ast.GoStmt) {
+	g := mp.Graph
+	info := n.Pkg.Info
+
+	var roots []*Node
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if hasJoinEvidence(info, lit.Body) {
+			return
+		}
+		// No evidence in the literal itself; follow its static callees.
+		ast.Inspect(lit.Body, func(node ast.Node) bool {
+			if call, ok := node.(*ast.CallExpr); ok {
+				roots = append(roots, g.CalleesOf(info, call)...)
+			}
+			return true
+		})
+		if len(roots) == 0 {
+			mp.ReportChain(gs.Pos(), []string{n.Name},
+				"goroutine has no provable join/stop edge: signal a WaitGroup, range over a close-drained channel, or select on a stop/context channel so the owner can join or stop it")
+			return
+		}
+	} else {
+		roots = g.CalleesOf(info, gs.Call)
+		if len(roots) == 0 {
+			if fn := calleeFunc(info, gs.Call); fn != nil {
+				mp.ReportChain(gs.Pos(), []string{n.Name},
+					"goroutine runs %s, outside the analyzed module; its join/stop discipline cannot be proven — wrap it with a WaitGroup, drain channel, or stop channel", fn.FullName())
+			} else {
+				mp.ReportChain(gs.Pos(), []string{n.Name},
+					"go statement launches a dynamic function value; its join/stop discipline cannot be proven — launch a named function with a WaitGroup, drain channel, or stop channel")
+			}
+			return
+		}
+	}
+
+	reach := g.ReachableFrom(roots)
+	for _, m := range g.Nodes() {
+		if reach.Contains(m) && m.Decl.Body != nil && hasJoinEvidence(m.Pkg.Info, m.Decl.Body) {
+			return
+		}
+	}
+	mp.ReportChain(gs.Pos(), []string{n.Name},
+		"goroutine has no provable join/stop edge: signal a WaitGroup, range over a close-drained channel, or select on a stop/context channel so the owner can join or stop it")
+}
+
+// hasJoinEvidence scans a body for any of the accepted join/stop
+// disciplines: a (deferred) WaitGroup.Done, a range over a channel
+// (terminates when the sender closes it), or a receive from a
+// struct{}-typed stop channel or a context Done channel.
+func hasJoinEvidence(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, x); fn != nil && fn.FullName() == "(*sync.WaitGroup).Done" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && (isStopChan(info, x.X) || isDoneChan(info, x.X)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isStopChan reports whether the expression is a struct{}-element
+// channel — the conventional zero-width stop/quit signal.
+func isStopChan(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

@@ -1,0 +1,404 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// mutexAcquireFuncs and mutexReleaseFuncs are the sync mutex methods
+// the lock-order analysis tracks, keyed by go/types full name. RLock
+// counts as an acquisition: reader/writer inversions deadlock just as
+// hard as writer/writer ones.
+var mutexAcquireFuncs = map[string]bool{
+	"(*sync.Mutex).Lock":       true,
+	"(*sync.Mutex).TryLock":    true,
+	"(*sync.RWMutex).Lock":     true,
+	"(*sync.RWMutex).TryLock":  true,
+	"(*sync.RWMutex).RLock":    true,
+	"(*sync.RWMutex).TryRLock": true,
+}
+
+var mutexReleaseFuncs = map[string]bool{
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RUnlock": true,
+}
+
+// LockOrderAnalyzer builds a mutex-acquisition-order graph across the
+// serving path (internal/serve + internal/store) and fails on cycles:
+// if one code path locks A then B and another locks B then A, two
+// goroutines can hold one each and wait forever. Locks are identified
+// by their declaration — the `mu` field of a struct type is one lock
+// class regardless of instance — and acquisitions made by callees count
+// against locks held at the call site, transitively through the
+// in-scope call graph.
+//
+// The per-function walk is linear over source order: an Unlock inside a
+// branch is treated as releasing unconditionally, a deferred Unlock
+// holds the lock to function end, and a goroutine body starts with
+// nothing held. That approximation can miss an edge behind complex
+// branch-dependent unlock patterns; the serving path's lock discipline
+// (acquire, short critical section, defer/explicit release in the same
+// block) is exactly what it models faithfully.
+func LockOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "lockorder",
+		Doc:       "mutex acquisition order across internal/serve and internal/store must be acyclic: an A->B / B->A inversion is a potential deadlock",
+		Appl:      inServing,
+		RunModule: runLockOrder,
+	}
+}
+
+// lockEdge is one observed "acquired v while holding u" ordering, with
+// the first site that induced it.
+type lockEdge struct {
+	pos token.Pos
+	fn  *Node
+}
+
+// lockCall is a call site recorded for the transitive phase: callee's
+// acquisitions happen while held is held.
+type lockCall struct {
+	held    []types.Object
+	callee  *Node
+	pos     token.Pos
+	fn      *Node
+	spawned bool // inside a go body: excluded from the caller's transitive set
+}
+
+type lockOrder struct {
+	mp      *ModulePass
+	inScope map[*Node]bool
+	direct  map[*Node][]types.Object // locks each node may acquire directly
+	calls   []lockCall
+	edges   map[[2]types.Object]lockEdge
+	names   map[types.Object]string
+	order   []types.Object // registration order, for determinism
+}
+
+func runLockOrder(mp *ModulePass) {
+	lo := &lockOrder{
+		mp:      mp,
+		inScope: map[*Node]bool{},
+		direct:  map[*Node][]types.Object{},
+		edges:   map[[2]types.Object]lockEdge{},
+		names:   map[types.Object]string{},
+	}
+	for _, n := range mp.Graph.Nodes() {
+		if mp.InScope(inServing, n.Rel) {
+			lo.inScope[n] = true
+		}
+	}
+	for _, n := range mp.Graph.Nodes() {
+		if lo.inScope[n] && n.Decl.Body != nil {
+			lo.stream(n, n.Decl.Body, false)
+		}
+	}
+	lo.transitive()
+	lo.reportCycles()
+}
+
+// stream walks one function body (or go-statement body) in source
+// order, maintaining the held-lock set and recording order edges and
+// call sites.
+func (lo *lockOrder) stream(n *Node, body ast.Node, spawned bool) {
+	var held []types.Object
+	acquire := func(v types.Object, pos token.Pos) {
+		for _, h := range held {
+			if h == v {
+				return // recursive re-acquire would self-deadlock; not an order edge
+			}
+			key := [2]types.Object{h, v}
+			if _, ok := lo.edges[key]; !ok {
+				lo.edges[key] = lockEdge{pos: pos, fn: n}
+			}
+		}
+		held = append(held, v)
+		if !spawned {
+			lo.direct[n] = append(lo.direct[n], v)
+		}
+	}
+	release := func(v types.Object) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i] == v {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.GoStmt:
+			// The spawned goroutine runs with nothing held; its own
+			// ordering is analyzed as a fresh stream.
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				lo.stream(n, lit.Body, true)
+			} else {
+				for _, c := range lo.mp.Graph.CalleesOf(n.Pkg.Info, x.Call) {
+					if lo.inScope[c] {
+						lo.calls = append(lo.calls, lockCall{callee: c, pos: x.Pos(), fn: n, spawned: true})
+					}
+				}
+			}
+			return false
+		case *ast.DeferStmt:
+			// A deferred release keeps the lock held to function end; a
+			// deferred call runs last, approximated with the current set.
+			if v, acq := lo.mutexOp(n, x.Call); v != nil {
+				if acq {
+					acquire(v, x.Pos())
+				}
+				return false
+			}
+			for _, c := range lo.mp.Graph.CalleesOf(n.Pkg.Info, x.Call) {
+				if lo.inScope[c] {
+					lo.calls = append(lo.calls, lockCall{held: append([]types.Object(nil), held...), callee: c, pos: x.Pos(), fn: n, spawned: spawned})
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if v, acq := lo.mutexOp(n, x); v != nil {
+				if acq {
+					acquire(v, x.Pos())
+				} else {
+					release(v)
+				}
+				return false
+			}
+			for _, c := range lo.mp.Graph.CalleesOf(n.Pkg.Info, x) {
+				if lo.inScope[c] {
+					lo.calls = append(lo.calls, lockCall{held: append([]types.Object(nil), held...), callee: c, pos: x.Pos(), fn: n, spawned: spawned})
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// mutexOp recognizes a mutex acquire/release call and resolves the lock
+// identity: the declared field or variable for `s.mu.Lock()` forms, or
+// the receiver's type name for an embedded mutex (`s.Lock()`).
+func (lo *lockOrder) mutexOp(n *Node, call *ast.CallExpr) (types.Object, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	fn, ok := n.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	full := fn.FullName()
+	isAcq := mutexAcquireFuncs[full]
+	if !isAcq && !mutexReleaseFuncs[full] {
+		return nil, false
+	}
+	return lo.lockID(n, sel.X), isAcq
+}
+
+// lockID maps the receiver expression of a mutex method call to a
+// stable lock identity and registers its display name.
+func (lo *lockOrder) lockID(n *Node, recv ast.Expr) types.Object {
+	info := n.Pkg.Info
+	register := func(obj types.Object, name string) types.Object {
+		if _, ok := lo.names[obj]; !ok {
+			lo.names[obj] = name
+			lo.order = append(lo.order, obj)
+		}
+		return obj
+	}
+	switch x := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		// s.mu — identity is the field declaration, shared by every
+		// instance of the owning type.
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && isMutexType(v.Type()) {
+			owner := "?"
+			if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
+				owner = namedTypeName(tv.Type)
+			}
+			return register(v, owner+"."+v.Name())
+		}
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if v, ok := obj.(*types.Var); ok && isMutexType(v.Type()) {
+			// Package-level or local mutex variable.
+			return register(v, v.Name())
+		}
+		if obj != nil {
+			// Embedded mutex: s.Lock() — identify by the receiver's type.
+			if tv, ok := info.Types[x]; ok && tv.Type != nil {
+				if tn := namedTypeObj(tv.Type); tn != nil {
+					return register(tn, tn.Name()+".Mutex")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func namedTypeObj(t types.Type) *types.TypeName {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+func namedTypeName(t types.Type) string {
+	if tn := namedTypeObj(t); tn != nil {
+		return tn.Name()
+	}
+	return types.TypeString(t, nil)
+}
+
+// transitive closes the acquisition sets over the in-scope call graph
+// and converts recorded call sites into order edges: everything the
+// callee may acquire is ordered after everything held at the call.
+func (lo *lockOrder) transitive() {
+	trans := map[*Node]map[types.Object]bool{}
+	for n, vs := range lo.direct { //reprolint:allow mapiter: set initialization; the fixpoint result is iteration-order independent
+		set := map[types.Object]bool{}
+		for _, v := range vs {
+			set[v] = true
+		}
+		trans[n] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range lo.calls {
+			if c.spawned {
+				continue
+			}
+			src := trans[c.fn]
+			if src == nil {
+				src = map[types.Object]bool{}
+				trans[c.fn] = src
+			}
+			for v := range trans[c.callee] { //reprolint:allow mapiter: set-union fixpoint; the final set is iteration-order independent
+				if !src[v] {
+					src[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for _, c := range lo.calls {
+		for _, h := range c.held {
+			for _, v := range lo.order { // deterministic sweep of known locks
+				if !trans[c.callee][v] || h == v {
+					continue
+				}
+				key := [2]types.Object{h, v}
+				if _, ok := lo.edges[key]; !ok {
+					lo.edges[key] = lockEdge{pos: c.pos, fn: c.fn}
+				}
+			}
+		}
+	}
+}
+
+// reportCycles finds strongly connected components of the lock-order
+// graph and reports each component that contains a cycle, naming the
+// locks involved and the site of each offending edge.
+func (lo *lockOrder) reportCycles() {
+	// Deterministic adjacency from the edge map, ordered by lock
+	// registration then by name.
+	succ := map[types.Object][]types.Object{}
+	for key := range lo.edges { //reprolint:allow mapiter: adjacency construction; successor lists are sorted below
+		succ[key[0]] = append(succ[key[0]], key[1])
+	}
+	for _, vs := range succ { //reprolint:allow mapiter: in-place sort of each successor list; no ordered output is produced here
+		sort.Slice(vs, func(i, j int) bool { return lo.names[vs[i]] < lo.names[vs[j]] })
+	}
+
+	// Tarjan's SCC over locks in registration order.
+	index := map[types.Object]int{}
+	low := map[types.Object]int{}
+	onStack := map[types.Object]bool{}
+	var stack []types.Object
+	next := 0
+	var sccs [][]types.Object
+	var strongconnect func(v types.Object)
+	strongconnect = func(v types.Object) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []types.Object
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, v := range lo.order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	for _, comp := range sccs {
+		if len(comp) < 2 {
+			continue // a single lock can't invert against itself (re-acquire is filtered out upstream)
+		}
+		sort.Slice(comp, func(i, j int) bool { return lo.names[comp[i]] < lo.names[comp[j]] })
+		names := make([]string, len(comp))
+		inComp := map[types.Object]bool{}
+		for i, v := range comp {
+			names[i] = lo.names[v]
+			inComp[v] = true
+		}
+		var sites []string
+		first := token.NoPos
+		for _, u := range comp {
+			for _, w := range succ[u] {
+				if !inComp[w] {
+					continue
+				}
+				e := lo.edges[[2]types.Object{u, w}]
+				if !first.IsValid() {
+					first = e.pos
+				}
+				sites = append(sites, fmt.Sprintf("%s->%s in %s at %s",
+					lo.names[u], lo.names[w], e.fn.Name, lo.mp.Fset.Position(e.pos)))
+			}
+		}
+		lo.mp.ReportChain(first, names,
+			"lock acquisition order cycle between %s: two goroutines taking opposite orders can deadlock; pick one order (edges: %s)",
+			strings.Join(names, ", "), strings.Join(sites, "; "))
+	}
+}

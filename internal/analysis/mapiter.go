@@ -2,36 +2,59 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
-// MapIterAnalyzer flags `range` over a map in the simulation packages.
-// Go randomizes map iteration order, so any map walk on a result path
-// is a latent run-to-run diff; simulation code must iterate an
-// explicitly ordered key list (for trace.Group maps, trace.Groups())
-// instead.
+// MapIterAnalyzer flags `range` over a map in the simulation packages,
+// and — through the call graph — in any function transitively reachable
+// from a simulation entry point. Go randomizes map iteration order, so
+// any map walk on a result path is a latent run-to-run diff; simulation
+// code must iterate an explicitly ordered key list (for trace.Group
+// maps, trace.Groups()) instead.
 func MapIterAnalyzer() *Analyzer {
 	return &Analyzer{
-		Name: "mapiter",
-		Doc:  "no range over a map in simulation packages: iteration order must be explicit",
-		Appl: inSim,
-		Run:  runMapIter,
+		Name:      "mapiter",
+		Doc:       "no range over a map in simulation packages or anything they transitively call: iteration order must be explicit",
+		Appl:      inSimOrTooling,
+		Run:       runMapIter,
+		RunModule: runMapIterModule,
 	}
 }
 
 func runMapIter(p *Pass) {
 	inspectFiles(p, func(n ast.Node) bool {
-		rs, ok := n.(*ast.RangeStmt)
-		if !ok {
-			return true
-		}
-		tv, ok := p.Pkg.Info.Types[rs.X]
-		if !ok || tv.Type == nil {
-			return true
-		}
-		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-			p.Reportf(rs.Pos(), "range over map %s iterates in randomized order; walk an explicitly ordered key list instead", types.TypeString(tv.Type, nil))
-		}
+		return scanMapRange(p.Pkg.Info, n, p.Reportf)
+	})
+}
+
+// scanMapRange checks one AST node for a range over a map, reporting
+// through the given sink. Shared by the per-package and reachability
+// passes.
+func scanMapRange(info *types.Info, n ast.Node, report func(pos token.Pos, format string, args ...any)) bool {
+	rs, ok := n.(*ast.RangeStmt)
+	if !ok {
 		return true
+	}
+	tv, ok := info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+		report(rs.Pos(), "range over map %s iterates in randomized order; walk an explicitly ordered key list instead", types.TypeString(tv.Type, nil))
+	}
+	return true
+}
+
+// runMapIterModule holds every function reachable from a simulation
+// entry point to the same ban, attaching the entry chain; packages the
+// per-package pass already covers are skipped.
+func runMapIterModule(mp *ModulePass) {
+	forReachableOutside(mp, inSimOrTooling, func(n *Node, chain []string) {
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			return scanMapRange(n.Pkg.Info, node, func(pos token.Pos, format string, args ...any) {
+				mp.ReportChain(pos, chain, format, args...)
+			})
+		})
 	})
 }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strconv"
 	"strings"
@@ -18,16 +19,19 @@ var nondetFuncs = map[string]string{
 }
 
 // NondeterminismAnalyzer flags wall-clock, environment and math/rand
-// use in the simulation packages (plus internal/exec and internal/obs,
-// whose intentional timing sites carry //reprolint:allow directives).
-// Simulation randomness must come from the seeded trace.RNG so results
-// are a pure function of flags.
+// use in the simulation packages (plus internal/exec, internal/obs and
+// internal/store, whose intentional timing sites carry
+// //reprolint:allow directives), and — through the call graph — in any
+// function transitively reachable from a simulation entry point,
+// wherever it lives. Simulation randomness must come from the seeded
+// trace.RNG so results are a pure function of flags.
 func NondeterminismAnalyzer() *Analyzer {
 	return &Analyzer{
-		Name: "nondeterminism",
-		Doc:  "no time.Now/time.Since/os.Getenv/math/rand in simulation packages: results must be a pure function of configuration",
-		Appl: inSimOrRuntime,
-		Run:  runNondeterminism,
+		Name:      "nondeterminism",
+		Doc:       "no time.Now/time.Since/os.Getenv/math/rand in simulation packages or anything they transitively call: results must be a pure function of configuration",
+		Appl:      inSimRuntimeOrTooling,
+		Run:       runNondeterminism,
+		RunModule: runNondeterminismModule,
 	}
 }
 
@@ -44,20 +48,59 @@ func runNondeterminism(p *Pass) {
 		}
 	}
 	inspectFiles(p, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
-		if !ok {
-			return true
-		}
-		full := fn.FullName()
-		if why, bad := nondetFuncs[full]; bad {
-			p.Reportf(sel.Pos(), "%s %s; simulation output must not depend on when or where it runs", full, why)
-		} else if pkg := fn.Pkg(); pkg != nil && strings.HasPrefix(pkg.Path(), "math/rand") {
-			p.Reportf(sel.Pos(), "%s uses math/rand; simulation randomness must come from the seeded trace.RNG", full)
-		}
-		return true
+		return scanNondetSite(p.Pkg.Info, n, p.Reportf)
 	})
+}
+
+// scanNondetSite checks one AST node for a banned nondeterminism
+// source, reporting through the given sink. Shared by the per-package
+// pass (no chain) and the reachability pass (chain attached by the
+// caller's sink).
+func scanNondetSite(info *types.Info, n ast.Node, report func(pos token.Pos, format string, args ...any)) bool {
+	sel, ok := n.(*ast.SelectorExpr)
+	if !ok {
+		return true
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return true
+	}
+	full := fn.FullName()
+	if why, bad := nondetFuncs[full]; bad {
+		report(sel.Pos(), "%s %s; simulation output must not depend on when or where it runs", full, why)
+	} else if pkg := fn.Pkg(); pkg != nil && strings.HasPrefix(pkg.Path(), "math/rand") {
+		report(sel.Pos(), "%s uses math/rand; simulation randomness must come from the seeded trace.RNG", full)
+	}
+	return true
+}
+
+// runNondeterminismModule extends the ban transitively: every function
+// reachable from a simulation entry point is held to it, wherever it
+// lives. Packages inside the per-package scope are skipped here — the
+// per-package pass owns them, so each violation is reported exactly
+// once — and out-of-scope helpers get the call chain that makes them
+// sim-relevant attached to the finding.
+func runNondeterminismModule(mp *ModulePass) {
+	forReachableOutside(mp, inSimRuntimeOrTooling, func(n *Node, chain []string) {
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			return scanNondetSite(n.Pkg.Info, node, func(pos token.Pos, format string, args ...any) {
+				mp.ReportChain(pos, chain, format, args...)
+			})
+		})
+	})
+}
+
+// forReachableOutside walks every function reachable from a simulation
+// entry point whose package lies outside the given per-package scope,
+// handing each to fn along with its shortest entry chain. The common
+// driver for the reachability halves of the determinism rules.
+func forReachableOutside(mp *ModulePass, scope func(string) bool, fn func(n *Node, chain []string)) {
+	g := mp.Graph
+	reach := g.ReachableFrom(g.SimEntryNodes())
+	for _, n := range g.Nodes() {
+		if scope(n.Rel) || !reach.Contains(n) || n.Decl.Body == nil {
+			continue
+		}
+		fn(n, reach.Chain(n))
+	}
 }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 	"strings"
@@ -28,13 +29,16 @@ var recorderWrites = map[string]bool{
 // outright: its instruments are readable (Counter.Value, Gauge.Value,
 // histogram snapshots), so simulation code holding one could branch on
 // observed state — values flow into the registry only through the
-// serving layer or scrape-time bridges.
+// serving layer or scrape-time bridges. The reachability pass extends
+// the contract to every function a simulation entry point can reach,
+// excepting the telemetry layer itself.
 func ObsInertAnalyzer() *Analyzer {
 	return &Analyzer{
-		Name: "obsinert",
-		Doc:  "simulation packages may only write to obs.Recorder: reading telemetry back (or importing the metrics registry) could steer simulation control flow",
-		Appl: inSim,
-		Run:  runObsInert,
+		Name:      "obsinert",
+		Doc:       "simulation packages (and everything they transitively call) may only write to obs.Recorder: reading telemetry back could steer simulation control flow",
+		Appl:      inSim,
+		Run:       runObsInert,
+		RunModule: runObsInertModule,
 	}
 }
 
@@ -47,27 +51,57 @@ func runObsInert(p *Pass) {
 			}
 			return true
 		}
-		x, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := p.Pkg.Info.Selections[x]
-		if !ok || sel.Kind() != types.MethodVal {
-			return true
-		}
-		if !p.isModType(sel.Recv(), "internal/obs", "Recorder") {
-			return true
-		}
-		if !recorderWrites[x.Sel.Name] {
-			p.Reportf(x.Pos(), "(*obs.Recorder).%s reads recorded telemetry in a simulation package; simulation code may only write (allowed: %s)", x.Sel.Name, strings.Join(sortedNames(recorderWrites), ", "))
-		}
+		return scanObsRead(p.Pkg.Info, p.Mod, n, p.Reportf)
+	})
+}
+
+// scanObsRead checks one AST node for a read of recorded telemetry (a
+// non-write obs.Recorder method call, or any use of a promtext
+// instrument), reporting through the given sink.
+func scanObsRead(info *types.Info, mod string, n ast.Node, report func(pos token.Pos, format string, args ...any)) bool {
+	x, ok := n.(*ast.SelectorExpr)
+	if !ok {
 		return true
+	}
+	if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+		if pkg := fn.Pkg(); pkg != nil && pkg.Path() == mod+"/internal/obs/promtext" {
+			report(x.Pos(), "%s touches the metrics registry; simulation-reachable code observes only through the write-only obs.Recorder hooks", fn.FullName())
+			return true
+		}
+	}
+	sel, ok := info.Selections[x]
+	if !ok || sel.Kind() != types.MethodVal {
+		return true
+	}
+	if !isModType(mod, sel.Recv(), "internal/obs", "Recorder") {
+		return true
+	}
+	if !recorderWrites[x.Sel.Name] {
+		report(x.Pos(), "(*obs.Recorder).%s reads recorded telemetry on a simulation path; simulation code may only write (allowed: %s)", x.Sel.Name, strings.Join(sortedNames(recorderWrites), ", "))
+	}
+	return true
+}
+
+// runObsInertModule extends inertness transitively: any function
+// reachable from a simulation entry point may not read telemetry back,
+// wherever it lives. The telemetry layer itself (internal/obs and its
+// subpackages) legitimately reads its own state and is exempt.
+func runObsInertModule(mp *ModulePass) {
+	skip := func(rel string) bool {
+		return inSim(rel) || rel == "internal/obs" || strings.HasPrefix(rel, "internal/obs/")
+	}
+	forReachableOutside(mp, skip, func(n *Node, chain []string) {
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			return scanObsRead(n.Pkg.Info, mp.Mod, node, func(pos token.Pos, format string, args ...any) {
+				mp.ReportChain(pos, chain, format, args...)
+			})
+		})
 	})
 }
 
 func sortedNames(m map[string]bool) []string {
 	ns := make([]string, 0, len(m))
-	for n := range m {
+	for n := range m { //reprolint:allow mapiter: allowlist rendering for an error message; sorted on the next line
 		ns = append(ns, n)
 	}
 	sort.Strings(ns)

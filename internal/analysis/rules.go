@@ -37,6 +37,30 @@ func inSimOrRuntime(rel string) bool {
 	return simPackages[rel] || rel == "internal/exec" || rel == "internal/obs" || rel == "internal/store"
 }
 
+// toolingPackages are the layers that prove the invariants rather than
+// compute under them — the analyzer itself and the metrics-text
+// renderer. They are held to the determinism hygiene rules too: the
+// linter's own output must be stable run to run, and a scrape body must
+// render identically for identical instrument state.
+var toolingPackages = map[string]bool{
+	"internal/analysis":     true,
+	"internal/obs/promtext": true,
+}
+
+func inSimRuntimeOrTooling(rel string) bool {
+	return inSimOrRuntime(rel) || toolingPackages[rel]
+}
+
+func inSimOrTooling(rel string) bool {
+	return simPackages[rel] || toolingPackages[rel]
+}
+
+// inServing is the serving-path scope the concurrency rules police: the
+// HTTP layer and the durable store behind it.
+func inServing(rel string) bool {
+	return rel == "internal/serve" || rel == "internal/store"
+}
+
 // Analyzers returns the full rule suite, freshly allocated so callers
 // may filter it.
 func Analyzers() []*Analyzer {
@@ -46,6 +70,9 @@ func Analyzers() []*Analyzer {
 		TraceImmutableAnalyzer(),
 		ObsInertAnalyzer(),
 		GoroutineScopeAnalyzer(),
+		LockOrderAnalyzer(),
+		CtxCancelAnalyzer(),
+		GoJoinAnalyzer(),
 	}
 }
 

@@ -1,0 +1,22 @@
+// Package iface pins the call graph's dispatch model: interface calls
+// fan out to every satisfying implementation, and a function referenced
+// as a value gets an edge from the referencing function.
+package iface
+
+type Doer interface{ Do() int }
+
+type Fast struct{}
+
+func (Fast) Do() int { return 1 }
+
+type Slow struct{}
+
+func (*Slow) Do() int { return 2 }
+
+// Drive calls through the interface.
+func Drive(d Doer) int { return d.Do() }
+
+// Value hands out helper without calling it.
+func Value() func() int { return helper }
+
+func helper() int { return 3 }

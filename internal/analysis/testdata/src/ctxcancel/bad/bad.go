@@ -1,0 +1,52 @@
+// Package bad parks HTTP requests on blocking operations no client
+// disconnect can unwind.
+package bad
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+var ch = make(chan int)
+
+var wg sync.WaitGroup
+
+// Send parks the request on a bare channel send.
+func Send(w http.ResponseWriter, r *http.Request) {
+	ch <- 1 // want ctxcancel
+}
+
+// Recv parks on a bare receive.
+func Recv(w http.ResponseWriter, r *http.Request) {
+	<-ch // want ctxcancel
+}
+
+// Stuck selects with neither a ctx.Done case nor a default.
+func Stuck(w http.ResponseWriter, r *http.Request) {
+	select { // want ctxcancel
+	case <-ch:
+	case ch <- 2:
+	}
+}
+
+// Sleep cannot be cancelled.
+func Sleep(w http.ResponseWriter, r *http.Request) {
+	time.Sleep(time.Second) // want ctxcancel
+}
+
+// Wait joins a WaitGroup on the request path.
+func Wait(w http.ResponseWriter, r *http.Request) {
+	wg.Wait() // want ctxcancel
+}
+
+// helper is not a handler, but Indirect makes it handler-reachable; the
+// finding carries the Indirect -> helper chain.
+func helper() {
+	<-ch // want ctxcancel
+}
+
+// Indirect blocks one call away from the handler.
+func Indirect(w http.ResponseWriter, r *http.Request) {
+	helper()
+}

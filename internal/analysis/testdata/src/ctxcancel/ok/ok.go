@@ -1,0 +1,55 @@
+// Package ok keeps every handler-reachable blocking operation on a
+// context-cancellable path.
+package ok
+
+import "net/http"
+
+var ch = make(chan int)
+
+// Select waits with a ctx.Done escape.
+func Select(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	select {
+	case <-ch:
+	case <-ctx.Done():
+	}
+}
+
+// NonBlocking uses a default case, so the select cannot park.
+func NonBlocking(w http.ResponseWriter, r *http.Request) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// DoneWait waits directly on cancellation, which is the escape itself.
+func DoneWait(w http.ResponseWriter, r *http.Request) {
+	<-r.Context().Done()
+}
+
+// Spawn moves the blocking receive onto a goroutine: it no longer
+// blocks the request path (whether it can be stopped is gojoin's
+// question, not this rule's).
+func Spawn(w http.ResponseWriter, r *http.Request) {
+	go func() {
+		<-ch
+	}()
+}
+
+// Middleware returns a handler closure; the closure's select is
+// cancellable, so the enclosing constructor stays clean too.
+func Middleware() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+		}
+	}
+}
+
+// Unreached blocks, but no handler can reach it, so the rule has
+// nothing to say about it.
+func Unreached() {
+	<-ch
+}

@@ -1,0 +1,26 @@
+// Package bad leaks goroutines: nothing can join or stop them.
+package bad
+
+// Leak spawns a sender with no join or stop edge.
+func Leak(ch chan int) {
+	go func() { // want gojoin
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+// Dynamic launches a function value; its discipline cannot be proven.
+func Dynamic(fn func()) {
+	go fn() // want gojoin
+}
+
+func spin() {
+	for {
+	}
+}
+
+// Named spawns a named function that spins forever with no stop edge.
+func Named() {
+	go spin() // want gojoin
+}

@@ -1,0 +1,62 @@
+// Package ok spawns only goroutines with a provable join or stop edge.
+package ok
+
+import (
+	"context"
+	"sync"
+)
+
+// Waited joins through a WaitGroup.
+func Waited(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Drained ranges a channel the owner closes.
+func Drained(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+	close(ch)
+}
+
+// Stopped polls a struct{} stop channel.
+func Stopped(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// CtxStopped watches context cancellation.
+func CtxStopped(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func worker(ch chan int) {
+	for range ch {
+	}
+}
+
+// NamedDrain spawns a named function whose body drains a channel.
+func NamedDrain(ch chan int) {
+	go worker(ch)
+}
+
+// LitCallsHelper finds the evidence one call away from the literal.
+func LitCallsHelper(ch chan int) {
+	go func() {
+		worker(ch)
+	}()
+}

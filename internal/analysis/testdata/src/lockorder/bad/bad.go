@@ -1,0 +1,30 @@
+// Package bad acquires two locks in opposite orders on two paths — the
+// classic AB/BA deadlock — with one side of the inversion hidden behind
+// a call.
+package bad
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// AB locks A then B directly.
+func AB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want lockorder
+	b.mu.Unlock()
+}
+
+// BA locks B, then reaches A's lock transitively through lockA.
+func BA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockA(a)
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}

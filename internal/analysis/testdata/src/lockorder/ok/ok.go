@@ -1,0 +1,51 @@
+// Package ok takes its two locks in one consistent order everywhere;
+// sequential (non-nested) use and goroutine-local acquisition do not
+// create ordering edges.
+package ok
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// One nests A then B.
+func One(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// Two reaches B's lock through a call, still under A.
+func Two(a *A, b *B) {
+	a.mu.Lock()
+	lockB(b)
+	a.mu.Unlock()
+}
+
+func lockB(b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// Three uses B then A sequentially: the first is released before the
+// second is taken, so no edge forms.
+func Three(a *A, b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// Spawn holds B while starting a goroutine that takes A: the goroutine
+// runs with nothing held, so no B->A edge forms.
+func Spawn(a *A, b *B, wg *sync.WaitGroup) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		defer wg.Done()
+		a.mu.Lock()
+		a.mu.Unlock()
+	}()
+}

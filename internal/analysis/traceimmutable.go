@@ -75,8 +75,8 @@ func traceFieldRoot(p *Pass, e ast.Expr) *ast.SelectorExpr {
 }
 
 // isModType reports whether t (possibly behind a pointer) is the named
-// type relDir.name of this module.
-func (p *Pass) isModType(t types.Type, relDir, name string) bool {
+// type relDir.name of module mod.
+func isModType(mod string, t types.Type, relDir, name string) bool {
 	if ptr, ok := t.Underlying().(*types.Pointer); ok {
 		t = ptr.Elem()
 	}
@@ -85,5 +85,9 @@ func (p *Pass) isModType(t types.Type, relDir, name string) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == p.Mod+"/"+relDir && obj.Name() == name
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == mod+"/"+relDir && obj.Name() == name
+}
+
+func (p *Pass) isModType(t types.Type, relDir, name string) bool {
+	return isModType(p.Mod, t, relDir, name)
 }

@@ -29,20 +29,27 @@ type lintFamily struct {
 	samples int
 
 	// Histogram state: the last le bound and cumulative value seen, and
-	// the +Inf / _count values for the final consistency check.
+	// the +Inf / _count values for the final consistency check. A
+	// histogram must carry at least one finite bucket — an +Inf-only
+	// family observes nothing about the distribution — and exactly one
+	// _count and _sum sample; duplicates would let a later line shadow
+	// an inconsistent earlier one.
 	lastLE     float64
 	lastBucket float64
+	finite     int
 	infSeen    bool
 	infValue   float64
 	countSeen  bool
 	countValue float64
+	sumSeen    bool
 }
 
 // Lint checks exposition text and returns the first violation found:
 // unknown or malformed lines, a sample without a preceding # TYPE,
 // HELP/TYPE ordering, duplicate families, unparsable values,
-// non-monotone or unordered histogram buckets, a missing +Inf bucket,
-// or a _count that disagrees with it.
+// non-monotone or unordered histogram buckets, a histogram with no
+// finite bucket or no +Inf bucket, duplicate _count or _sum samples,
+// or a _count that disagrees with the +Inf bucket.
 func Lint(exposition []byte) error {
 	sc := bufio.NewScanner(bytes.NewReader(exposition))
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -58,6 +65,9 @@ func Lint(exposition []byte) error {
 		}
 		if !f.infSeen {
 			return fmt.Errorf("promtext: histogram %s has no +Inf bucket", name)
+		}
+		if f.finite == 0 {
+			return fmt.Errorf("promtext: histogram %s has no finite bucket", name)
 		}
 		if !f.countSeen {
 			return fmt.Errorf("promtext: histogram %s has no _count sample", name)
@@ -159,10 +169,19 @@ func Lint(exposition []byte) error {
 				f.lastLE, f.lastBucket = bound, v
 				if math.IsInf(bound, +1) {
 					f.infSeen, f.infValue = true, v
+				} else {
+					f.finite++
 				}
 			case "_count":
+				if f.countSeen {
+					return fmt.Errorf("promtext: line %d: duplicate _count for histogram %s", line, base)
+				}
 				f.countSeen, f.countValue = true, v
 			case "_sum":
+				if f.sumSeen {
+					return fmt.Errorf("promtext: line %d: duplicate _sum for histogram %s", line, base)
+				}
+				f.sumSeen = true
 			default:
 				return fmt.Errorf("promtext: line %d: raw sample %s inside histogram %s", line, name, base)
 			}

@@ -221,7 +221,7 @@ func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
 	r.register(name, help, "counter", func() []sample {
 		v.mu.Lock()
 		vals := make([]string, 0, len(v.cells))
-		for val := range v.cells {
+		for val := range v.cells { //reprolint:allow mapiter: label values are collected then sorted before rendering; scrape bytes stay order-stable
 			vals = append(vals, val)
 		}
 		sort.Strings(vals)
@@ -331,7 +331,7 @@ func (r *Registry) NewInfo(name, help string, labels map[string]string) {
 		return
 	}
 	names := make([]string, 0, len(labels))
-	for k := range labels {
+	for k := range labels { //reprolint:allow mapiter: label names are validated here then sorted before rendering; scrape bytes stay order-stable
 		if !validName(k) || strings.Contains(k, ":") {
 			panic(fmt.Sprintf("promtext: invalid label name %q", k))
 		}

@@ -304,8 +304,28 @@ func TestLintRejects(t *testing.T) {
 		{
 			"count disagrees",
 			"# HELP h x\n# TYPE h histogram\n" +
-				`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 2\n",
+				`h_bucket{le="1"} 3` + "\n" + `h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 2\n",
 			"_count 2 != +Inf bucket 3",
+		},
+		{
+			"only +Inf bucket",
+			"# HELP h x\n# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 3\n",
+			"no finite bucket",
+		},
+		{
+			"duplicate _count",
+			"# HELP h x\n# TYPE h histogram\n" +
+				`h_bucket{le="1"} 2` + "\n" + `h_bucket{le="+Inf"} 3` + "\n" +
+				"h_sum 1\nh_count 2\nh_count 3\n",
+			"duplicate _count",
+		},
+		{
+			"duplicate _sum",
+			"# HELP h x\n# TYPE h histogram\n" +
+				`h_bucket{le="1"} 2` + "\n" + `h_bucket{le="+Inf"} 3` + "\n" +
+				"h_sum 1\nh_sum 2\nh_count 3\n",
+			"duplicate _sum",
 		},
 		{
 			"bucket without le",
