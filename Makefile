@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-stats fuzz-smoke bench-smoke bench-compare telemetry-smoke serve-smoke store-smoke metrics-smoke cover profile check
+.PHONY: build test race vet lint lint-stats fuzz-smoke bench-smoke bench-compare bench-record telemetry-smoke serve-smoke store-smoke metrics-smoke cover profile check
 
 build:
 	$(GO) build ./...
@@ -45,16 +45,26 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . -args -manifest bench-smoke-manifest.json
 	$(GO) run ./cmd/manifestcheck bench-smoke-manifest.json
 
-# Perf-regression check: rerun the root suite (one iteration, like
-# bench-smoke) and diff it against the recorded baseline. One-iteration
-# timings are noisy, so the default threshold is generous and CI treats
-# a failure as a soft signal; tighten BENCH_THRESHOLD for a real
-# measurement run (see EXPERIMENTS.md for the capture workflow).
+# Perf-regression gate: rerun the root suite and diff it against the
+# recorded baseline. Two iterations per benchmark (vs bench-smoke's one)
+# smooth the worst single-iteration jitter on shared runners while
+# keeping the gate CI-sized; the threshold stays generous for the same
+# reason. CI fails on a regression beyond BENCH_THRESHOLD — tighten it
+# for a real measurement run, and re-record the baseline after any
+# intentional perf change (see EXPERIMENTS.md for the capture workflow).
 BENCH_THRESHOLD ?= 50
+BENCH_TIME ?= 2x
 
 bench-compare:
-	$(GO) test -run '^$$' -bench . -benchtime 1x . > /tmp/bench_current.txt
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCH_TIME) . > /tmp/bench_current.txt
 	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) BENCH_baseline.json /tmp/bench_current.txt
+
+# Re-record the perf baseline from a fresh run at the same -benchtime
+# the gate uses. Run this after an intentional perf change, on a quiet
+# machine, and commit the resulting BENCH_baseline.json.
+bench-record:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCH_TIME) . > /tmp/bench_record.txt
+	$(GO) run ./cmd/benchdiff -record BENCH_baseline.json /tmp/bench_record.txt
 
 # End-to-end telemetry check: run a small sweep with profiling and a
 # manifest, then assert the manifest parses and carries the required keys.

@@ -67,6 +67,7 @@ func main() {
 	run.SetConfig("segment_bytes", *sv.SegmentBytes)
 	run.SetConfig("compact_interval", sv.CompactInterval.String())
 	run.SetConfig("retry_after", *sv.RetryAfter)
+	run.SetConfig("batch", *sv.Batch)
 	run.SetConfig("metrics", *sv.Metrics)
 	run.SetConfig("slow_request", sv.SlowRequest.String())
 	run.SetConfig("debug_addr", *sv.DebugAddr)
@@ -108,6 +109,7 @@ func main() {
 		Log:                 run.Log,
 		DisableMetrics:      !*sv.Metrics,
 		SlowRequest:         *sv.SlowRequest,
+		DisableBatch:        !*sv.Batch,
 	})
 	hs := &http.Server{Addr: *sv.Addr, Handler: srv}
 

@@ -70,22 +70,39 @@ func (r *Reach) Chain(n *Node) []string {
 }
 
 // simEntryPoint reports whether a node is one of the simulation entry
-// points the determinism rules root reachability at: the single-point
-// serving entries, the pipeline core, and the study drivers.
+// points the determinism rules root reachability at: the point-level
+// and batched serving entries, the pipeline core (single-lane and
+// batched), and the study drivers. Matching happens on the
+// fixture-normalized directory (see fixtureRel) so the root set itself
+// is pinned by analyzer fixtures.
 func simEntryPoint(n *Node) bool {
 	name := n.Fn.Name()
-	switch n.Rel {
+	switch fixtureRel(n.Rel) {
 	case "internal/core":
 		return name == "SimulatePoint" || name == "SimulatePointWith" ||
-			name == "DepthSweep"
+			name == "SimulateBatch" || name == "DepthSweep"
 	case "internal/pipeline":
-		return name == "Run" || name == "RunWith"
+		return name == "Run" || name == "RunWith" || name == "RunBatch"
 	case "internal/experiments":
 		// The study drivers: RunFigure1..11, RunAblation, RunHeadline,
 		// RunSegmentedSelect, RunCray1S — every exported Run* driver.
 		return strings.HasPrefix(name, "Run")
 	}
 	return false
+}
+
+// fixtureRel maps an analyzer-fixture directory onto the module
+// directory it stands in for: everything up to and including
+// "testdata/src/" is stripped, so a fixture at
+// internal/analysis/testdata/src/internal/pipeline plays the real
+// internal/pipeline in root-set tests. Real module packages never
+// carry the prefix — the module loader skips testdata entirely.
+func fixtureRel(rel string) string {
+	const marker = "testdata/src/"
+	if i := strings.Index(rel, marker); i >= 0 {
+		return rel[i+len(marker):]
+	}
+	return rel
 }
 
 // SimEntryNodes returns the graph's simulation entry points in

@@ -1,0 +1,8 @@
+// Package core is the analyzer-fixture stand-in for the real
+// internal/core (see the pipeline fixture's doc comment).
+package core
+
+import "repro/internal/analysis/testdata/src/simroots/leaky"
+
+// SimulateBatch is the batched serving entry, a declared sim root.
+func SimulateBatch() int { return leaky.StampCore() }

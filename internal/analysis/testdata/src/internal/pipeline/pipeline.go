@@ -1,0 +1,19 @@
+// Package pipeline is the analyzer-fixture stand-in for the real
+// internal/pipeline: reach.go's fixtureRel maps this directory onto the
+// sim-package root set, so the reach tests can pin exactly which
+// functions root the transitive determinism rules.
+package pipeline
+
+import "repro/internal/analysis/testdata/src/simroots/leaky"
+
+// RunBatch is a declared sim root: everything it reaches — here the
+// out-of-scope leaky helper — is held to the determinism rules.
+func RunBatch() int { return leaky.StampPipe() }
+
+// RunWith is the pre-batching root; it stays in the set.
+func RunWith() int { return 0 }
+
+// NewBatchScratch is deliberately NOT a root: the helper behind it must
+// stay unflagged, proving findings flow through the root set and not
+// through package membership.
+func NewBatchScratch() int { return leaky.Unreached() }

@@ -56,17 +56,99 @@ func runSims(cfg SweepConfig, tasks []simTask) []pipeline.Stats {
 		func(s *pipeline.Scratch, _ int, t simTask) pipeline.Stats {
 			return pipeline.RunWith(t.params, t.tr, s)
 		})
-	// Surface the event-driven wakeup economy in the run manifest: wakes
-	// actually delivered through the consumer index versus the window
-	// entries the per-issue broadcast scan it replaced would have touched.
-	var wakes, scanned uint64
+	recordEconomy(cfg, stats)
+	return stats
+}
+
+// recordEconomy surfaces the simulator's work-sharing counters in the run
+// manifest: wakes actually delivered through the consumer index versus
+// the window entries the per-issue broadcast scan they replaced would
+// have touched, and (on the batched path) the lanes that shared a
+// prewarmed memory template and the instruction decodes reused from a
+// batch's first lane.
+func recordEconomy(cfg SweepConfig, stats []pipeline.Stats) {
+	var wakes, scanned, lanes, shared uint64
 	for i := range stats {
 		wakes += stats[i].WakeupWakes
 		scanned += stats[i].WakeupScanned
+		lanes += stats[i].BatchLanes
+		shared += stats[i].BatchSharedDecode
 	}
 	cfg.Obs.Add("wakeup_wakes", int64(wakes))
 	cfg.Obs.Add("wakeup_scanned", int64(scanned))
+	if lanes > 0 {
+		cfg.Obs.Add("batch_lanes", int64(lanes))
+		cfg.Obs.Add("batch_shared_decode", int64(shared))
+	}
+}
+
+// batchState is one worker's scratch for the batched grid dispatch: the
+// per-lane Scratch set plus a reusable params header, so a steady-state
+// batch allocates only its result slice.
+type batchState struct {
+	bs     *pipeline.BatchScratch
+	params []pipeline.Params
+}
+
+// runGrid simulates the full (params × traces) product and returns stats
+// indexed [pi*len(traces)+ti], exactly like the flattened per-cell grid.
+// On the batched path (the default) the grid is grouped by trace — one
+// executor task per benchmark running every params lane through
+// pipeline.RunBatch — so the depth-invariant per-benchmark work (decode,
+// predictor walk, consumer index, cache prewarm) happens once per
+// benchmark instead of once per cell, and consecutive lanes keep that
+// benchmark's shared arrays hot. Cell values are bit-for-bit identical
+// to the per-cell path at any worker count; only the batch accounting
+// counters (excluded from JSON) differ from an unbatched run.
+func runGrid(cfg SweepConfig, params []pipeline.Params, traces []*trace.Trace) []pipeline.Stats {
+	if cfg.DisableBatch {
+		tasks := make([]simTask, 0, len(params)*len(traces))
+		for _, p := range params {
+			for _, tr := range traces {
+				tasks = append(tasks, simTask{params: p, tr: tr})
+			}
+		}
+		return runSims(cfg, tasks)
+	}
+
+	cfg.Obs.Add("simulations", int64(len(params)*len(traces)))
+	batches, _ := exec.MapGroupsWithState(cfg.pool(), traceGroups(params, traces),
+		func() *batchState { return &batchState{bs: pipeline.NewBatchScratch()} },
+		func(st *batchState, _ int, group []simTask) []pipeline.Stats {
+			ps := st.params[:0]
+			for _, t := range group {
+				ps = append(ps, t.params)
+			}
+			st.params = ps
+			return pipeline.RunBatch(ps, group[0].tr, st.bs.Lanes(len(ps)))
+		})
+
+	stats := make([]pipeline.Stats, len(params)*len(traces))
+	for ti := range traces {
+		if batches[ti] == nil {
+			continue // cancelled before this trace's batch ran
+		}
+		for pi := range params {
+			stats[pi*len(traces)+ti] = batches[ti][pi]
+		}
+	}
+	recordEconomy(cfg, stats)
 	return stats
+}
+
+// traceGroups shapes the (params × traces) grid into one task group per
+// trace, each group listing that benchmark's lanes in params order.
+func traceGroups(params []pipeline.Params, traces []*trace.Trace) [][]simTask {
+	groups := make([][]simTask, len(traces))
+	cells := make([]simTask, len(params)*len(traces))
+	for ti, tr := range traces {
+		g := cells[ti*len(params) : (ti+1)*len(params) : (ti+1)*len(params)]
+		for pi, p := range params {
+			g[pi] = simTask{params: p, tr: tr}
+		}
+		groups[ti] = g
+	}
+	return groups
 }
 
 // traceKey identifies one generated trace. Profile is a comparable value
@@ -139,19 +221,27 @@ func (c SweepConfig) pointSpecFor(useful float64, mod func(*pipeline.Params)) po
 // pool busy across point boundaries; per-point aggregation stays serial
 // and in benchmark order, matching the old serial loop exactly.
 func runPoints(cfg SweepConfig, specs []pointSpec, traces []*trace.Trace) []SweepPoint {
-	tasks := make([]simTask, 0, len(specs)*len(traces))
-	for _, sp := range specs {
+	specParams := make([]pipeline.Params, len(specs))
+	for si, sp := range specs {
 		p := pipeline.Params{Machine: cfg.Machine, Timing: sp.timing, Warmup: cfg.Warmup}
 		if sp.mod != nil {
 			sp.mod(&p)
 		}
-		for _, tr := range traces {
-			tasks = append(tasks, simTask{params: p, tr: tr})
-		}
+		specParams[si] = p
 	}
-	stats := runSims(cfg, tasks)
+	stats := runGrid(cfg, specParams, traces)
 
 	points := make([]SweepPoint, len(specs))
+	// Aggregation scratch, reused across specs: group membership is a
+	// property of the trace list alone, so the per-group series only need
+	// truncation between specs (the group array is indexed by trace.Group;
+	// reading it in trace.Groups() order below keeps the fold order of the
+	// historical map-based aggregation).
+	var groups [3][]float64
+	for g := range groups {
+		groups[g] = make([]float64, 0, len(traces))
+	}
+	all := make([]float64, 0, len(traces))
 	for si, sp := range specs {
 		pt := SweepPoint{
 			Useful:    sp.useful,
@@ -163,8 +253,11 @@ func runPoints(cfg SweepConfig, specs []pointSpec, traces []*trace.Trace) []Swee
 			points[si] = pt
 			continue
 		}
-		groups := map[trace.Group][]float64{}
-		var all []float64
+		for g := range groups {
+			groups[g] = groups[g][:0]
+		}
+		all = all[:0]
+		pt.PerBench = make([]BenchPoint, 0, len(traces))
 		for ti, tr := range traces {
 			s := stats[si*len(traces)+ti]
 			b := metrics.BIPS(s.IPC, pt.FreqHz)
@@ -175,7 +268,7 @@ func runPoints(cfg SweepConfig, specs []pointSpec, traces []*trace.Trace) []Swee
 			all = append(all, b)
 		}
 		for _, g := range trace.Groups() {
-			if xs, ok := groups[g]; ok {
+			if xs := groups[g]; len(xs) > 0 {
 				pt.GroupBIPS[g] = metrics.HarmonicMean(xs)
 			}
 		}
@@ -203,34 +296,40 @@ type ipcPoint struct {
 // the parameters of variant i. Aggregation is serial and in benchmark
 // order, so the result matches a serial per-variant loop bit-for-bit.
 func runIPCVariants(cfg SweepConfig, traces []*trace.Trace, base pipeline.Params, mods []func(*pipeline.Params)) []ipcPoint {
-	tasks := make([]simTask, 0, len(mods)*len(traces))
-	for _, mod := range mods {
+	variantParams := make([]pipeline.Params, len(mods))
+	for mi, mod := range mods {
 		p := base
 		if mod != nil {
 			mod(&p)
 		}
-		for _, tr := range traces {
-			tasks = append(tasks, simTask{params: p, tr: tr})
-		}
+		variantParams[mi] = p
 	}
-	stats := runSims(cfg, tasks)
+	stats := runGrid(cfg, variantParams, traces)
 
 	out := make([]ipcPoint, len(mods))
+	// Aggregation scratch, reused across variants exactly as in runPoints.
+	var groups [3][]float64
+	for g := range groups {
+		groups[g] = make([]float64, 0, len(traces))
+	}
+	all := make([]float64, 0, len(traces))
 	for mi := range mods {
 		pt := ipcPoint{groups: map[trace.Group]float64{}}
 		if cfg.cancelled() {
 			out[mi] = pt
 			continue
 		}
-		groups := map[trace.Group][]float64{}
-		var all []float64
+		for g := range groups {
+			groups[g] = groups[g][:0]
+		}
+		all = all[:0]
 		for ti, tr := range traces {
 			s := stats[mi*len(traces)+ti]
 			groups[tr.Group] = append(groups[tr.Group], s.IPC)
 			all = append(all, s.IPC)
 		}
 		for _, g := range trace.Groups() {
-			if xs, ok := groups[g]; ok {
+			if xs := groups[g]; len(xs) > 0 {
 				pt.groups[g] = metrics.HarmonicMean(xs)
 			}
 		}

@@ -344,6 +344,53 @@ func SimulatePointWith(o PointOptions, s *pipeline.Scratch, rec *obs.Recorder) (
 	return pointResult(pipeline.RunWith(p, tr, s), tr, clk), nil
 }
 
+// SimulateBatch simulates every point of opts — all of which must
+// resolve to the same trace (benchmark, instructions, seed) — in one
+// batched pass over that trace: the depth-invariant per-benchmark work
+// is done once and shared through pipeline.RunBatch instead of once per
+// point. out[i] equals what SimulatePointWith(opts[i], ...) returns,
+// except for the batch accounting counters (excluded from JSON) that
+// only the batched path sets; the serving layer's byte-identity test
+// pins that equivalence on the wire. bs amortizes per-lane scratch
+// state across successive batches (nil builds a throwaway) and, like
+// every Scratch, must not be shared by concurrent calls.
+func SimulateBatch(opts []PointOptions, bs *pipeline.BatchScratch, rec *obs.Recorder) ([]BenchPoint, error) {
+	if len(opts) == 0 {
+		return nil, nil
+	}
+	norm := make([]PointOptions, len(opts))
+	for i, o := range opts {
+		o = o.Normalize()
+		if err := o.Validate(); err != nil {
+			return nil, fmt.Errorf("batch lane %d: %w", i, err)
+		}
+		norm[i] = o
+	}
+	first := norm[0]
+	for i, o := range norm[1:] {
+		if o.Benchmark != first.Benchmark || o.Instructions != first.Instructions || o.Seed != first.Seed {
+			return nil, fmt.Errorf("batch lane %d simulates trace (%s, n=%d, seed=%d) but lane 0 simulates (%s, n=%d, seed=%d); a batch shares one trace",
+				i+1, o.Benchmark, o.Instructions, o.Seed, first.Benchmark, first.Instructions, first.Seed)
+		}
+	}
+	if bs == nil {
+		bs = pipeline.NewBatchScratch()
+	}
+	prof, _ := ProfileByName(first.Benchmark)
+	tr := cachedTrace(prof, first.Instructions, first.Seed, rec)
+	params := make([]pipeline.Params, len(norm))
+	clocks := make([]fo4.Clock, len(norm))
+	for i, o := range norm {
+		params[i], clocks[i] = o.params()
+	}
+	stats := pipeline.RunBatch(params, tr, bs.Lanes(len(params)))
+	out := make([]BenchPoint, len(norm))
+	for i := range stats {
+		out[i] = pointResult(stats[i], tr, clocks[i])
+	}
+	return out, nil
+}
+
 func pointResult(st pipeline.Stats, tr *trace.Trace, clk fo4.Clock) BenchPoint {
 	freq := clk.FrequencyHz(fo4.Tech100nm)
 	return BenchPoint{

@@ -26,14 +26,27 @@ func (l Level) String() string {
 	}
 }
 
+// way is one cache way's tag and LRU timestamp, kept together so a set
+// probe walks one contiguous run of memory (at the default 4-way
+// associativity, one 64-byte host cache line per set) instead of two
+// parallel arrays.
+type way struct {
+	tag  uint64 // 0 means empty (tag 0 is remapped)
+	used uint64 // LRU timestamp
+}
+
 // Cache is one set-associative cache level with LRU replacement.
 type Cache struct {
 	sets      int
 	assoc     int
 	blockBits uint
 
-	tags  []uint64 // sets × assoc; 0 means empty (tag 0 is remapped)
-	used  []uint64 // LRU timestamps
+	// setMask indexes sets with an AND instead of a modulo when the set
+	// count is a power of two (every Table 3 geometry); ^0 marks the
+	// general case. Pure function of sets, so Copy/Reset never touch it.
+	setMask uint64
+
+	ways  []way // sets × assoc
 	clock uint64
 
 	Accesses uint64
@@ -57,12 +70,16 @@ func NewCache(capacityBytes, blockBytes, assoc int) *Cache {
 	if 1<<bits != blockBytes {
 		panic("mem: block size must be a power of two")
 	}
+	mask := ^uint64(0)
+	if sets&(sets-1) == 0 {
+		mask = uint64(sets - 1)
+	}
 	return &Cache{
 		sets:      sets,
 		assoc:     assoc,
 		blockBits: bits,
-		tags:      make([]uint64, sets*assoc),
-		used:      make([]uint64, sets*assoc),
+		setMask:   mask,
+		ways:      make([]way, sets*assoc),
 	}
 }
 
@@ -73,24 +90,32 @@ func (c *Cache) Access(addr uint64) bool {
 	c.clock++
 	block := addr >> c.blockBits
 	tag := block + 1 // avoid the zero (empty) tag
-	set := int(block % uint64(c.sets))
-	base := set * c.assoc
+	set := c.setIndex(block)
+	ways := c.ways[set*c.assoc : set*c.assoc+c.assoc]
 
-	victim, oldest := base, c.used[base]
-	for w := 0; w < c.assoc; w++ {
-		i := base + w
-		if c.tags[i] == tag {
-			c.used[i] = c.clock
+	victim, oldest := 0, ways[0].used
+	for w := range ways {
+		if ways[w].tag == tag {
+			ways[w].used = c.clock
 			return true
 		}
-		if c.used[i] < oldest {
-			victim, oldest = i, c.used[i]
+		if ways[w].used < oldest {
+			victim, oldest = w, ways[w].used
 		}
 	}
 	c.Misses++
-	c.tags[victim] = tag
-	c.used[victim] = c.clock
+	ways[victim] = way{tag: tag, used: c.clock}
 	return false
+}
+
+// setIndex maps a block number to its set: a mask for power-of-two set
+// counts (identical to the modulo, minus the 64-bit divide the hot access
+// path would otherwise pay), a modulo otherwise.
+func (c *Cache) setIndex(block uint64) int {
+	if c.setMask != ^uint64(0) {
+		return int(block & c.setMask)
+	}
+	return int(block % uint64(c.sets))
 }
 
 // install places addr's block in the cache without counting it as a demand
@@ -99,20 +124,31 @@ func (c *Cache) install(addr uint64) {
 	c.clock++
 	block := addr >> c.blockBits
 	tag := block + 1
-	set := int(block % uint64(c.sets))
-	base := set * c.assoc
-	victim, oldest := base, c.used[base]
-	for w := 0; w < c.assoc; w++ {
-		i := base + w
-		if c.tags[i] == tag {
+	set := c.setIndex(block)
+	ways := c.ways[set*c.assoc : set*c.assoc+c.assoc]
+	victim, oldest := 0, ways[0].used
+	for w := range ways {
+		if ways[w].tag == tag {
 			return // already present; leave recency alone
 		}
-		if c.used[i] < oldest {
-			victim, oldest = i, c.used[i]
+		if ways[w].used < oldest {
+			victim, oldest = w, ways[w].used
 		}
 	}
-	c.tags[victim] = tag
-	c.used[victim] = c.clock
+	ways[victim] = way{tag: tag, used: c.clock}
+}
+
+// CopyStateFrom overwrites c's contents, recency state and statistics
+// with src's, leaving the two caches indistinguishable. Both must share
+// geometry (capacity, block size, associativity).
+func (c *Cache) CopyStateFrom(src *Cache) {
+	if c.sets != src.sets || c.assoc != src.assoc || c.blockBits != src.blockBits {
+		panic("mem: CopyStateFrom requires identical cache geometry")
+	}
+	copy(c.ways, src.ways)
+	c.clock = src.clock
+	c.Accesses = src.Accesses
+	c.Misses = src.Misses
 }
 
 // MissRate returns the miss fraction so far.
@@ -125,9 +161,8 @@ func (c *Cache) MissRate() float64 {
 
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
-	for i := range c.tags {
-		c.tags[i] = 0
-		c.used[i] = 0
+	for i := range c.ways {
+		c.ways[i] = way{}
 	}
 	c.clock = 0
 	c.Accesses = 0
@@ -218,6 +253,26 @@ func (h *Hierarchy) Prewarm(hotBytes, warmBytes uint64) {
 		h.L1.install(a)
 		h.L2.install(a)
 	}
+}
+
+// CopyStateFrom overwrites h's entire mutable state — cache contents,
+// recency, statistics, prefetcher configuration and accumulator — with
+// src's, leaving the two hierarchies indistinguishable. Both must share
+// geometry (same levels with identical cache dimensions). This is the
+// batch runner's fast path: copying a prewarmed template is a pair of
+// memcpys per level instead of re-walking the working set per lane.
+func (h *Hierarchy) CopyStateFrom(src *Hierarchy) {
+	if h.Flat != src.Flat {
+		panic("mem: CopyStateFrom requires identical hierarchy shapes")
+	}
+	if !h.Flat {
+		h.L1.CopyStateFrom(src.L1)
+		h.L2.CopyStateFrom(src.L2)
+	}
+	h.Prefetch = src.Prefetch
+	h.Coverage = src.Coverage
+	h.Prefetches = src.Prefetches
+	h.pfAccum = src.pfAccum
 }
 
 // Reset clears both levels and the prefetcher's accumulated state, so a

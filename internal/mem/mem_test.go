@@ -158,3 +158,78 @@ func TestNewCachePanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestCopyStateFromIsIndistinguishable is the batch prewarm template's
+// contract: after CopyStateFrom, the copy and the source answer an
+// identical access stream identically — contents, recency order,
+// prefetcher phase and statistics all carried over.
+func TestCopyStateFromIsIndistinguishable(t *testing.T) {
+	build := func() *Hierarchy {
+		return NewHierarchy(NewCache(8<<10, 64, 2), NewCache(64<<10, 64, 4))
+	}
+	src := build()
+	src.Coverage = 0.7
+	src.Prewarm(4<<10, 32<<10)
+	for i := 0; i < 500; i++ {
+		src.Access(uint64(i*192) % (96 << 10))
+	}
+
+	dst := build()
+	dst.Access(123) // pre-existing state must be fully overwritten
+	dst.CopyStateFrom(src)
+
+	if dst.L1.Accesses != src.L1.Accesses || dst.L1.Misses != src.L1.Misses ||
+		dst.L2.Accesses != src.L2.Accesses || dst.L2.Misses != src.L2.Misses ||
+		dst.Prefetches != src.Prefetches {
+		t.Fatalf("copied statistics diverge: dst L1 %d/%d L2 %d/%d pf %d, src L1 %d/%d L2 %d/%d pf %d",
+			dst.L1.Accesses, dst.L1.Misses, dst.L2.Accesses, dst.L2.Misses, dst.Prefetches,
+			src.L1.Accesses, src.L1.Misses, src.L2.Accesses, src.L2.Misses, src.Prefetches)
+	}
+
+	// Replay the same probe stream on both: every level answer and every
+	// counter must stay in lockstep (this exercises tags, LRU recency and
+	// the fractional prefetch accumulator, not just the counters above).
+	for i := 0; i < 2000; i++ {
+		addr := uint64(i*832+7) % (128 << 10)
+		if a, b := src.Access(addr), dst.Access(addr); a != b {
+			t.Fatalf("probe %d (addr %#x): src answered %v, copy answered %v", i, addr, a, b)
+		}
+	}
+	if dst.L1.Misses != src.L1.Misses || dst.L2.Misses != src.L2.Misses || dst.Prefetches != src.Prefetches {
+		t.Fatalf("post-replay statistics diverge: dst L1 %d L2 %d pf %d, src L1 %d L2 %d pf %d",
+			dst.L1.Misses, dst.L2.Misses, dst.Prefetches, src.L1.Misses, src.L2.Misses, src.Prefetches)
+	}
+}
+
+// TestCopyStateFromRejectsGeometryMismatch: the copy is a pair of
+// memcpys, so shape mismatches must panic loudly instead of aliasing
+// wrong sets.
+func TestCopyStateFromRejectsGeometryMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CopyStateFrom across geometries did not panic")
+		}
+	}()
+	dst := NewCache(8<<10, 64, 2)
+	dst.CopyStateFrom(NewCache(16<<10, 64, 2))
+}
+
+// TestSetIndexMaskMatchesModulo pins the power-of-two fast path against
+// the general modulo for both shapes.
+func TestSetIndexMaskMatchesModulo(t *testing.T) {
+	pow2 := NewCache(8<<10, 64, 2) // 64 sets: masked path
+	odd := NewCache(12<<10, 64, 2) // 96 sets: modulo path
+	if pow2.setMask == ^uint64(0) {
+		t.Fatal("64-set cache did not take the mask path")
+	}
+	if odd.setMask != ^uint64(0) {
+		t.Fatal("96-set cache took the mask path")
+	}
+	for _, c := range []*Cache{pow2, odd} {
+		for _, block := range []uint64{0, 1, 63, 64, 95, 96, 1 << 20, ^uint64(0) >> 8} {
+			if got, want := c.setIndex(block), int(block%uint64(c.sets)); got != want {
+				t.Errorf("%d sets, block %d: setIndex %d, want %d", c.sets, block, got, want)
+			}
+		}
+	}
+}

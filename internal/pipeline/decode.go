@@ -1,0 +1,110 @@
+package pipeline
+
+import (
+	"sync"
+
+	"repro/internal/branch"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Per-instruction decode flags. One byte per instruction carries
+// everything the cycle loops branch on, so the hot paths test a bit
+// instead of loading a 32-byte trace.Inst and re-deriving class
+// predicates per lane.
+const (
+	dFP         uint8 = 1 << iota // executes on the floating-point cluster
+	dBranch                       // conditional branch
+	dLoad                         // data-cache read
+	dStore                        // data-cache write
+	dTaken                        // branch outcome: taken
+	dMispredict                   // tournament predictor guessed wrong
+)
+
+// traceDecode is the depth-invariant decode of one instruction stream in
+// structure-of-arrays form: class predicates folded into flags, operand
+// producers, data addresses, and — crucially — the tournament predictor's
+// per-branch verdicts. The predictor sees branches in trace order in both
+// cores regardless of timing, and Params never alters its tables, so its
+// guess stream is a pure function of the trace: one training walk here
+// replaces one per simulated grid cell. (PerfectBranches machines override
+// the guess after the tables update, so they consume the same decode and
+// just ignore dMispredict.)
+type traceDecode struct {
+	flags []uint8
+	class []isa.Class
+	src1  []int32
+	src2  []int32
+	addr  []uint64
+}
+
+// decodeCacheKey identifies an instruction stream by identity, like
+// trace.ConsumerIndexOf's key: WithPrefetchCoverage clones share Insts
+// with their parent, and one decode serves every clone.
+type decodeCacheKey struct {
+	first *trace.Inst
+	n     int
+}
+
+// decodeCache holds every trace decode built so far, process-wide. Traces
+// are immutable once generated, so the decode is immutable too and one
+// build serves every study, worker, lane and clock point.
+var decodeCache sync.Map // decodeCacheKey → *traceDecode
+
+// decodeOf returns the trace's decode, building and caching it on first
+// use. The result is shared and read-only; concurrent callers may race to
+// build it, but construction is a pure function of the trace so either
+// result is identical and LoadOrStore picks a canonical one.
+func decodeOf(tr *trace.Trace) *traceDecode {
+	insts := tr.Insts
+	if len(insts) == 0 {
+		panic("pipeline: empty trace")
+	}
+	key := decodeCacheKey{first: &insts[0], n: len(insts)}
+	if v, ok := decodeCache.Load(key); ok {
+		return v.(*traceDecode)
+	}
+	v, _ := decodeCache.LoadOrStore(key, buildDecode(insts))
+	return v.(*traceDecode)
+}
+
+func buildDecode(insts []trace.Inst) *traceDecode {
+	n := len(insts)
+	d := &traceDecode{
+		flags: make([]uint8, n),
+		class: make([]isa.Class, n),
+		src1:  make([]int32, n),
+		src2:  make([]int32, n),
+		addr:  make([]uint64, n),
+	}
+	pred := branch.New()
+	for i := range insts {
+		in := &insts[i]
+		d.class[i] = in.Class
+		d.src1[i] = in.Src1
+		d.src2[i] = in.Src2
+		d.addr[i] = in.Addr
+		var f uint8
+		if in.Class.IsFP() {
+			f |= dFP
+		}
+		switch in.Class {
+		case isa.Load:
+			f |= dLoad
+		case isa.Store:
+			f |= dStore
+		case isa.Branch:
+			f |= dBranch
+			if in.Taken {
+				f |= dTaken
+			}
+			guess := pred.Predict(in.PC)
+			pred.Update(in.PC, in.Taken, guess)
+			if guess != in.Taken {
+				f |= dMispredict
+			}
+		}
+		d.flags[i] = f
+	}
+	return d
+}

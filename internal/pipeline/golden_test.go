@@ -125,8 +125,21 @@ func TestGoldenStatsGrid(t *testing.T) {
 	got := map[string]goldenStats{}
 	for _, bench := range []string{"176.gcc", "171.swim", "177.mesa"} {
 		tr := getTrace(t, bench, 40000)
-		for _, c := range goldenGrid() {
+		grid := goldenGrid()
+		params := make([]Params, len(grid))
+		for i, c := range grid {
 			got[bench+"/"+c.name] = toGolden(Run(c.p, tr))
+			params[i] = c.p
+		}
+		// The batched dispatch must reproduce the same goldens: every
+		// variant of this benchmark through one RunBatch walk, compared
+		// cell by cell against the per-cell path captured above.
+		bs := NewBatchScratch()
+		for i, s := range RunBatch(params, tr, bs.Lanes(len(params))) {
+			if g := toGolden(s); g != got[bench+"/"+grid[i].name] {
+				t.Errorf("%s/%s: batched stats diverge from per-cell run:\n got %+v\nwant %+v",
+					bench, grid[i].name, g, got[bench+"/"+grid[i].name])
+			}
 		}
 	}
 

@@ -1,7 +1,7 @@
 package pipeline
 
 import (
-	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/trace"
 )
 
@@ -12,19 +12,23 @@ import (
 // a timestamp recurrence: each instruction issues at the earliest cycle
 // that satisfies program order, issue bandwidth, operand readiness (with
 // full bypass), and fetch delivery — no issue window exists.
-func runInOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
+func runInOrder(p Params, tr *trace.Trace, scr *Scratch, warm *mem.Hierarchy) Stats {
 	m := p.Machine
 	tmg := p.Timing
-	insts := tr.Insts
-	n := len(insts)
+	n := len(tr.Insts)
 	if n == 0 {
 		panic("pipeline: empty trace")
 	}
 
-	pred := scr.predictor()
-	hier := scr.hierarchy(m)
-	hier.Coverage = tr.PrefetchCoverage
-	hier.Prewarm(tr.HotBytes, tr.WarmBytes)
+	// Shared depth-invariant decode; see runOutOfOrder.
+	dec := decodeOf(tr)
+	flags, class := dec.flags, dec.class
+	src1s, src2s, addrs := dec.src1, dec.src2, dec.addr
+
+	hier := scr.hierarchyFor(m, tr, warm)
+	var lat latEnv
+	lat.init(&p, hier)
+	perfectBranches := m.PerfectBranches
 	stats := Stats{}
 
 	frontDepth := int64(maxInt(tmg.IL1, tmg.BPred) + 1) // fetch + decode
@@ -36,9 +40,9 @@ func runInOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 	// malformed forward dependence — where it deterministically means
 	// "ready", exactly as a freshly allocated array would.
 	scr.arenas(n)
-	dataAt := scr.dataAt
-	for i := range dataAt {
-		dataAt[i] = 0
+	times := scr.times
+	for i := range times {
+		times[i].data = 0
 	}
 
 	var (
@@ -57,7 +61,7 @@ func runInOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 	}
 
 	for i := 0; i < n; i++ {
-		in := insts[i]
+		f := flags[i]
 
 		// ---- Fetch: bandwidth FetchWidth per cycle; a taken branch ends
 		// the group; a mispredicted branch stalls fetch until it resolves
@@ -77,15 +81,15 @@ func runInOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 			earliest = issueCycle
 		}
 		ready := earliest
-		if in.Src1 >= 0 && dataAt[in.Src1] > ready {
-			ready = dataAt[in.Src1]
+		if s1 := src1s[i]; s1 >= 0 && times[s1].data > ready {
+			ready = times[s1].data
 		}
-		if in.Src2 >= 0 && dataAt[in.Src2] > ready {
-			ready = dataAt[in.Src2]
+		if s2 := src2s[i]; s2 >= 0 && times[s2].data > ready {
+			ready = times[s2].data
 		}
 
 		// Find a cycle with issue bandwidth left.
-		isFP := in.Class.IsFP()
+		isFP := f&dFP != 0
 		for {
 			if ready > issueCycle {
 				issueCycle = ready
@@ -104,26 +108,21 @@ func runInOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 		issued := issueCycle
 
 		// ---- Execute.
-		lat := execLatency(p, in, hier, &stats)
-		dataAt[i] = issued + lat
+		execLat := lat.latency(f, class[i], addrs[i], &stats)
+		times[i].data = issued + execLat
 
 		// ---- Branches: resolve at execute; a misprediction stalls fetch
 		// until resolution plus the redirect.
-		if in.Class == isa.Branch {
-			guess := pred.Predict(in.PC)
-			pred.Update(in.PC, in.Taken, guess)
-			if m.PerfectBranches {
-				guess = in.Taken
-			}
+		if f&dBranch != 0 {
 			stats.BranchLookups++
-			if guess != in.Taken {
+			if f&dMispredict != 0 && !perfectBranches {
 				stats.BranchMispredict++
-				restart := issued + lat + 1 + int64(p.ExtraMispredict)
+				restart := issued + execLat + 1 + int64(p.ExtraMispredict)
 				if restart > fetchCycle {
 					fetchCycle = restart
 					fetchInGroup = 0
 				}
-			} else if in.Taken {
+			} else if f&dTaken != 0 {
 				// Correctly predicted taken branch: fetch group ends.
 				fetchCycle++
 				fetchInGroup = 0
@@ -131,7 +130,7 @@ func runInOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 		}
 
 		// ---- Commit: in order.
-		c := dataAt[i] + commitDepth
+		c := times[i].data + commitDepth
 		if c < prevCommit {
 			c = prevCommit
 		}

@@ -37,6 +37,7 @@ package pipeline
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/config"
 	"repro/internal/isa"
@@ -107,6 +108,17 @@ type Stats struct {
 	// the simulator no longer does.
 	WakeupWakes   uint64
 	WakeupScanned uint64
+
+	// Batch accounting, set only by RunBatch: BatchLanes is the size of the
+	// geometry partition this lane shared a prewarmed memory template with
+	// (zero for a lane that fell back to the plain RunWith path, whose
+	// Stats are then indistinguishable from an unbatched run's), and
+	// BatchSharedDecode
+	// counts the instructions whose decode/predictor walk was reused from
+	// the batch's first lane rather than recomputed. Excluded from JSON so
+	// batched and per-cell results serialize byte-identically.
+	BatchLanes        uint64 `json:"-"`
+	BatchSharedDecode uint64 `json:"-"`
 }
 
 // AvgWindowOcc returns the mean issue-window occupancy per cycle.
@@ -139,36 +151,44 @@ func Run(p Params, tr *trace.Trace) Stats {
 // must not be shared by concurrent calls. A nil scratch is allowed and
 // simulates on fresh state.
 func RunWith(p Params, tr *trace.Trace, s *Scratch) Stats {
+	return runWith(p, tr, s, nil)
+}
+
+// runWith is RunWith with the batch runner's extra input: warm, when
+// non-nil, is a prewarmed memory-hierarchy template of the machine's
+// geometry whose state is copied instead of re-walking the working set.
+// A nil warm reproduces RunWith exactly; a correct template makes the
+// two paths bit-identical (the template state is a pure function of
+// geometry and trace — see RunBatch).
+func runWith(p Params, tr *trace.Trace, s *Scratch, warm *mem.Hierarchy) Stats {
 	if s == nil {
 		s = NewScratch()
 	}
 	if p.Machine.InOrder {
-		return runInOrder(p, tr, s)
+		return runInOrder(p, tr, s, warm)
 	}
-	return runOutOfOrder(p, tr, s)
+	return runOutOfOrder(p, tr, s, warm)
 }
 
 const pending = math.MaxInt64
 
-// winEntry is one issue-window slot. Readiness is kept as a single
-// timestamp so the selection scan is one comparison per entry: ready is
-// the cycle both operands are visible, or pending while any operand
-// still awaits its producer's wakeup; acc accumulates the max wake time
-// of the operands scheduled so far and becomes ready when the last
-// producer delivers.
+// winEntry is one issue-window slot's cold state. Its readiness lives in
+// the queue's parallel ready array (one timestamp per slot) so the
+// selection scan touches eight bytes per entry and only selectable
+// entries load the rest: acc accumulates the max wake time of the
+// operands scheduled so far and becomes the ready timestamp when the
+// last producer delivers.
 type winEntry struct {
-	ready       int64 // cycle the entry is selectable; pending until fully scheduled
 	acc         int64 // max wake time over the operands scheduled so far
 	idx         int32 // trace index
 	src1, src2  int32 // producer indices still awaited (-1 once resolved)
 	preSelected bool  // latched by a pre-selection block (Figure 12)
 }
 
-func runOutOfOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
+func runOutOfOrder(p Params, tr *trace.Trace, scr *Scratch, warm *mem.Hierarchy) Stats {
 	m := p.Machine
 	tmg := p.Timing
-	insts := tr.Insts
-	n := len(insts)
+	n := len(tr.Insts)
 	if n == 0 {
 		panic("pipeline: empty trace")
 	}
@@ -177,6 +197,14 @@ func runOutOfOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 		stages = 1
 	}
 
+	// The depth-invariant decode: class flags, operand producers, data
+	// addresses and the predictor's per-branch verdicts, built once per
+	// trace and cached process-wide (see traceDecode). The cycle loops
+	// below never touch tr.Insts again.
+	dec := decodeOf(tr)
+	flags, class := dec.flags, dec.class
+	src1s, src2s, addrs := dec.src1, dec.src2, dec.addr
+
 	// Issue queues: the 21264's separate integer and floating-point queues
 	// by default, or one shared window when UnifiedWindow is set (the
 	// Section 5 experiments use a unified 32-entry window). Segmentation
@@ -184,6 +212,11 @@ func runOutOfOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 	queues := scr.queues(m, stages)
 	intQ := queues[0]
 	fpQ := queues[len(queues)-1] // same queue as intQ when unified
+	nq := len(queues)
+	// qpair picks an instruction's queue branch-free: dFP is bit 0, so
+	// flags[i]&dFP is directly the index (both slots alias the shared
+	// window when unified).
+	qpair := [2]*issueQueue{intQ, fpQ}
 
 	// The reverse dependence adjacency: who consumes each instruction's
 	// result. Built once per trace and cached process-wide, it lets issue
@@ -191,29 +224,34 @@ func runOutOfOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 	// every window entry per issued instruction.
 	consumers := tr.ConsumerIndexOf()
 
-	pred := scr.predictor()
-	hier := scr.hierarchy(m)
-	hier.Coverage = tr.PrefetchCoverage
-	hier.Prewarm(tr.HotBytes, tr.WarmBytes)
+	hier := scr.hierarchyFor(m, tr, warm)
+	var lat latEnv
+	lat.init(&p, hier)
+	perfectBranches := m.PerfectBranches
 
 	// Per-instruction dynamic state, reset to pending/-1 for this run.
 	scr.arenas(n)
-	dataAt := scr.dataAt         // cycle a consumer may issue (post-bypass)
-	completeAt := scr.completeAt // cycle the instruction has executed
-	commitAt := scr.commitAt
+	times := scr.times       // paired data/complete timestamps (see instTimes)
 	queuePos := scr.queuePos // issue-queue position while resident
 
 	// Front-end depth in cycles: fetch (instruction cache / predictor),
 	// decode, rename, dispatch.
 	frontDepth := maxInt(tmg.IL1, tmg.BPred) + 1 + tmg.Rename + 1
+	// The frontend pipeline holds FetchWidth instructions per stage for
+	// frontDepth stages (plus slack for dispatch backpressure).
+	frontCap := m.FetchWidth * (frontDepth + 2)
 	wakeLoop := int64(tmg.Window + p.ExtraWakeup)
+	extraMisp := int64(p.ExtraMispredict)
 	if p.NaivePipelining {
 		wakeLoop = int64(stages) + int64(p.ExtraWakeup)
 	}
 
-	// Frontend queue between fetch and dispatch.
-	frontQ := &scr.frontQ
-	frontQ.reset()
+	// Frontend queue between fetch and dispatch: fetch and dispatch both
+	// walk the trace in order, so the queue is the index range
+	// [dispIdx, fetchIdx) with per-instruction arrival cycles in the
+	// fetchReady arena.
+	fetchReady := scr.fetchReady
+	dispIdx := 0
 	stats := Stats{}
 
 	selected := scr.selScratch(m.IntIssue + m.FPIssue)
@@ -221,19 +259,32 @@ func runOutOfOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 	// its queues must be scanned every cycle; everywhere else the
 	// next-ready bound lets stall cycles skip the selection scan.
 	preSel := p.PreSelect != nil && stages > 1
+	segmented := stages > 1 && !p.NaivePipelining
+	// Lazy compaction defers the removal of issued entries until the queue
+	// arrays' slack is exhausted (see issueQueue.compact). It is valid
+	// exactly when entry positions carry no semantics: single-segment
+	// windows and naive pipelining wake every consumer with segment 0, and
+	// partitioned selection is position-addressed, so segmented
+	// non-preselect machines compact eagerly every issuing cycle.
+	lazy := !preSel && (stages == 1 || p.NaivePipelining)
 	var quota []int
 	if preSel {
 		quota = scr.quotaScratch(stages)
 	}
 
 	var (
-		cycle       int64
-		fetchIdx    int        // next trace index to fetch
-		head        int        // oldest in-flight (ROB head)
-		fetchBlock  int32 = -1 // mispredicted branch blocking fetch
+		cycle      int64
+		fetchIdx   int        // next trace index to fetch
+		head       int        // oldest in-flight (ROB head)
+		fetchBlock int32 = -1 // mispredicted branch blocking fetch
+		// fetchResume is the cycle the blocking branch's redirect lands
+		// (pending until it issues), kept in a register by the issue loop
+		// so the fetch gate doesn't chase times[fetchBlock] every cycle.
+		fetchResume int64 = pending
 		warmCycle   int64 = -1
 		warmIdx           = p.Warmup
-		lastHead          = -1
+		lastCommit  int64 // cycle the most recent commit happened
+		lastHead    = -1
 		stuckCycles int64
 	)
 	if warmIdx >= n {
@@ -244,39 +295,117 @@ func runOutOfOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 	for head < n {
 		// ---- Commit: oldest first, up to CommitWidth, completed only.
 		committed := 0
-		for head < n && committed < m.CommitWidth &&
-			completeAt[head] != pending && completeAt[head] < cycle {
-			commitAt[head] = cycle
-			if head == warmIdx && warmCycle < 0 {
-				warmCycle = cycle
-			}
+		// (pending is MaxInt64, so "complete < cycle" alone excludes
+		// still-executing instructions.)
+		for head < n && committed < m.CommitWidth && times[head].complete < cycle {
 			head++
 			committed++
+		}
+		if committed > 0 {
+			lastCommit = cycle
+			// head crosses warmIdx exactly once; the cycle it does is the
+			// cycle instruction warmIdx commits.
+			if warmCycle < 0 && head > warmIdx {
+				warmCycle = cycle
+			}
 		}
 
 		// ---- Selection and issue. Pre-selection latches (Figure 12) were
 		// set at the end of the previous cycle via preSelected flags.
+		// Queue occupancy is constant until issue removes entries, so the
+		// per-cycle occupancy and the per-issue broadcast-scan size are
+		// one sum up front.
+		resident := intQ.live
+		if nq == 2 {
+			resident += fpQ.live
+		}
+		stats.SumWindowOcc += uint64(resident)
 		intBudget, fpBudget := m.IntIssue, m.FPIssue
+		mixed := nq == 1 // the unified window holds both classes
 		var issuedFrom [2]bool
-		for qi, q := range queues {
-			stats.SumWindowOcc += uint64(len(q.entries))
+		for qi := 0; qi < nq; qi++ {
+			q := qpair[qi&1]
 			if !preSel && cycle < q.nextReady {
 				continue // provably nothing selectable this cycle
 			}
-			issued, nextReady := issueSelect(p, insts, q, cycle, &intBudget, &fpBudget, preSel, selected[:0])
-			q.nextReady = nextReady
+			var issued []int32
+			if !preSel && !mixed {
+				// Split-queue scan, inlined from issueSelect's uniform
+				// path: this is the simulator's hottest edge (it runs for
+				// every queue on every non-gated cycle), and keeping it in
+				// the loop body spares the call and its argument traffic.
+				// Semantics are identical — the batch golden and property
+				// tests pin both paths against each other.
+				sel := selected[:0]
+				nextReady := int64(pending)
+				budget := intBudget
+				if qi == 1 {
+					budget = fpBudget
+				}
+				ready := q.ready
+			scan:
+				for k, w := range q.sched[:uint(len(ready)+63)>>6] {
+					for w != 0 {
+						wi := k<<6 + bits.TrailingZeros64(w)
+						w &= w - 1
+						if r := ready[wi]; r > cycle {
+							if r < nextReady {
+								nextReady = r
+							}
+							continue
+						}
+						if budget == 0 {
+							nextReady = cycle + 1
+							break scan
+						}
+						budget--
+						sel = append(sel, q.entries[wi].idx)
+					}
+				}
+				if qi == 1 {
+					fpBudget = budget
+				} else {
+					intBudget = budget
+				}
+				q.nextReady = nextReady
+				issued = sel
+			} else {
+				var nextReady int64
+				issued, nextReady, intBudget, fpBudget = issueSelect(flags, q, cycle, intBudget, fpBudget, preSel, mixed, qi == 1, selected[:0])
+				q.nextReady = nextReady
+			}
 			stats.SumIssued += uint64(len(issued))
-			for _, idx := range issued {
+			if len(issued) > 0 {
 				issuedFrom[qi] = true
-				in := insts[idx]
-				lat := execLatency(p, in, hier, &stats)
-				completeAt[idx] = cycle + lat
-				d := cycle + maxInt64(lat, wakeLoop)
-				dataAt[idx] = d
-				// Tombstone the issued entry for this cycle's compaction.
-				// Its operands were already resolved (src fields are -1),
-				// so no same-cycle consumer walk can match it.
-				q.entries[queuePos[idx]].idx = -1
+			}
+			for _, idx := range issued {
+				// Non-memory instructions resolve to a fixed per-class
+				// latency; only loads and stores pay the call into the
+				// cache hierarchy.
+				var completeLat int64
+				if f := flags[idx]; f&(dLoad|dStore) == 0 {
+					completeLat = lat.exec[class[idx]]
+				} else {
+					completeLat = lat.latency(f, class[idx], addrs[idx], &stats)
+				}
+				d := cycle + maxInt64(completeLat, wakeLoop)
+				times[idx] = instTimes{data: d, complete: cycle + completeLat}
+				if idx == fetchBlock {
+					fetchResume = cycle + completeLat + extraMisp
+				}
+				// Tombstone the issued entry; compaction removes it either
+				// this cycle (eager) or when the arrays fill (lazy). Its
+				// ready slot goes to pending so the selection scan skips
+				// it, its operands were already resolved (src fields are
+				// -1), so no same-cycle consumer walk can match it.
+				pos := queuePos[idx] & qposMask
+				q.entries[pos].idx = -1
+				q.ready[pos] = pending
+				q.sched[pos>>6] &^= 1 << uint(pos&63)
+				q.live--
+				if int(pos) < q.firstGap {
+					q.firstGap = int(pos)
+				}
 				queuePos[idx] = -1
 				// Wakeup. The machine broadcasts the completing tag across
 				// every window entry; the simulator walks the consumer
@@ -289,21 +418,19 @@ func runOutOfOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 				// current cycle, so delivery order within a cycle cannot
 				// change this cycle's selection — exactly like the
 				// broadcast scan this replaces.
-				for _, dq := range queues {
-					stats.WakeupScanned += uint64(len(dq.entries))
-				}
+				stats.WakeupScanned += uint64(resident)
 				for _, c := range consumers.Consumers(idx) {
-					pos := queuePos[c]
-					if pos < 0 {
+					pq := queuePos[c]
+					if pq < 0 {
 						continue // not dispatched yet, or operand resolved at dispatch
 					}
-					dq := intQ
-					if insts[c].Class.IsFP() {
-						dq = fpQ
-					}
+					// queuePos carries the consumer's queue in its high
+					// bit, so delivery needs no second lookup into flags.
+					dq := qpair[pq>>qposQueueShift]
+					pos := pq & qposMask
 					e := &dq.entries[pos]
 					seg := int64(0)
-					if stages > 1 && !p.NaivePipelining {
+					if segmented {
 						seg = int64(int(pos) / dq.segSize)
 					}
 					if e.src1 == idx {
@@ -324,7 +451,8 @@ func runOutOfOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 						// Fully scheduled: the entry becomes selectable
 						// once both operands are visible; lower the
 						// queue's next-ready bound to match.
-						e.ready = e.acc
+						dq.ready[pos] = e.acc
+						dq.sched[pos>>6] |= 1 << uint(pos&63)
 						if e.acc < dq.nextReady {
 							dq.nextReady = e.acc
 						}
@@ -332,105 +460,107 @@ func runOutOfOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 				}
 			}
 		}
-		// Remove issued entries; each queue compacts oldest-first at the
-		// start of the next cycle (the paper's collapsing window). Only a
-		// queue that issued has anything to remove.
-		for qi, q := range queues {
-			if !issuedFrom[qi] {
-				continue
-			}
-			keep := q.entries[:0]
-			for _, e := range q.entries {
-				if e.idx >= 0 {
-					queuePos[e.idx] = int32(len(keep))
-					keep = append(keep, e)
+		// Remove issued entries (the paper's collapsing window). Machines
+		// whose entry positions carry semantics compact every issuing
+		// cycle; everyone else defers to dispatch, which compacts only
+		// when a queue's array slack runs out.
+		if !lazy {
+			for qi := 0; qi < nq; qi++ {
+				if issuedFrom[qi] {
+					qpair[qi&1].compact(queuePos, int32(qi&1)<<qposQueueShift)
 				}
 			}
-			q.entries = keep
 		}
 
 		// ---- Pre-selection for next cycle (Figure 12).
-		if p.PreSelect != nil && stages > 1 {
+		if preSel {
 			for _, q := range queues {
-				markPreSelections(p, q, cycle, stages, quota)
+				markPreSelections(p.PreSelect, q, cycle, stages, quota)
 			}
 		}
 
 		// ---- Dispatch from the frontend queue into the issue queues.
 		dispatchedNow := 0
-		for frontQ.len() > 0 && dispatchedNow < m.FetchWidth {
-			f := frontQ.front()
-			if f.readyAt > cycle {
+		for dispIdx < fetchIdx && dispatchedNow < m.FetchWidth {
+			if fetchReady[dispIdx] > cycle {
 				break
 			}
-			in := insts[f.idx]
-			q := intQ
-			if in.Class.IsFP() {
-				q = fpQ
-			}
-			if len(q.entries) >= q.cap {
+			di := int32(dispIdx)
+			qsel := flags[di] & dFP
+			q := qpair[qsel]
+			if q.live >= q.cap {
 				stats.WindowFullStalls++
 				break
 			}
-			if int(f.idx)-head >= m.ROB {
+			if dispIdx-head >= m.ROB {
 				stats.ROBFullStalls++
 				break
 			}
-			e := winEntry{idx: f.idx, src1: -1, src2: -1, ready: pending}
-			w1 := resolveOperand(in.Src1, dataAt, completeAt, cycle, &e.src1)
-			w2 := resolveOperand(in.Src2, dataAt, completeAt, cycle, &e.src2)
+			if len(q.entries) == cap(q.entries) {
+				// Lazy mode: the array's slack is spent on tombstones
+				// (live < cap guarantees there are some); reclaim it.
+				q.compact(queuePos, int32(qsel)<<qposQueueShift)
+			}
+			e := winEntry{idx: di, src1: -1, src2: -1}
+			w1 := resolveOperand(src1s[di], times, cycle, &e.src1)
+			w2 := resolveOperand(src2s[di], times, cycle, &e.src2)
 			if e.src1 == -1 && e.acc < w1 {
 				e.acc = w1
 			}
 			if e.src2 == -1 && e.acc < w2 {
 				e.acc = w2
 			}
-			if e.src1 == -1 && e.src2 == -1 {
+			readyAt := int64(pending)
+			scheduled := e.src1 == -1 && e.src2 == -1
+			if scheduled {
 				// Dispatched fully scheduled: it can issue once both
 				// operands are visible, no earlier than the next cycle
 				// (dispatch follows this cycle's selection).
-				e.ready = e.acc
+				readyAt = e.acc
 				c := maxInt64(e.acc, cycle+1)
 				if c < q.nextReady {
 					q.nextReady = c
 				}
 			}
-			queuePos[f.idx] = int32(len(q.entries))
+			pos := len(q.entries)
+			queuePos[di] = int32(pos) | int32(qsel)<<qposQueueShift
 			q.entries = append(q.entries, e)
-			frontQ.pop()
+			q.ready = append(q.ready, readyAt)
+			if scheduled {
+				q.sched[pos>>6] |= 1 << uint(pos&63)
+			}
+			q.live++
+			dispIdx++
 			dispatchedNow++
 		}
 
 		// ---- Fetch. A mispredicted branch blocks fetch until it resolves
 		// (plus any Figure 8 extension of the misprediction loop); a
 		// correctly-predicted taken branch just ends the fetch group.
-		if fetchBlock >= 0 && completeAt[fetchBlock] != pending &&
-			completeAt[fetchBlock]+int64(p.ExtraMispredict) <= cycle {
+		resumed := false
+		if fetchBlock >= 0 && fetchResume <= cycle {
 			fetchBlock = -1 // redirect complete; resume fetch
+			fetchResume = pending
+			resumed = true
 		}
-		// The frontend pipeline holds FetchWidth instructions per stage for
-		// frontDepth stages (plus slack for dispatch backpressure).
-		frontCap := m.FetchWidth * (frontDepth + 2)
+		fetched := false
 		if fetchBlock < 0 {
 			slots := m.FetchWidth
-			for slots > 0 && fetchIdx < n && frontQ.len() < frontCap {
-				in := insts[fetchIdx]
-				frontQ.push(fq{idx: int32(fetchIdx), readyAt: cycle + int64(frontDepth)})
+			arrive := cycle + int64(frontDepth)
+			for slots > 0 && fetchIdx < n && fetchIdx-dispIdx < frontCap {
+				fetched = true
+				ff := flags[fetchIdx]
+				fetchReady[fetchIdx] = arrive
 				slots--
-				if in.Class == isa.Branch {
-					guess := pred.Predict(in.PC)
-					pred.Update(in.PC, in.Taken, guess)
-					if m.PerfectBranches {
-						guess = in.Taken
-					}
+				if ff&dBranch != 0 {
 					stats.BranchLookups++
-					if guess != in.Taken {
+					if ff&dMispredict != 0 && !perfectBranches {
 						stats.BranchMispredict++
 						fetchBlock = int32(fetchIdx)
 						fetchIdx++
 						break
 					}
-					if in.Taken {
+					if ff&dTaken != 0 {
 						fetchIdx++
 						break
 					}
@@ -449,13 +579,58 @@ func runOutOfOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 			stuckCycles++
 			if stuckCycles > 1_000_000 {
 				panic(fmt.Sprintf("pipeline: no commit progress at cycle %d (head=%d, frontQ=%d)",
-					cycle, head, frontQ.len()))
+					cycle, head, fetchIdx-dispIdx))
 			}
 		} else {
 			lastHead = head
 			stuckCycles = 0
 		}
 		cycle++
+
+		// ---- Idle fast-forward. A cycle that committed, issued,
+		// dispatched, fetched and resumed nothing leaves no state behind
+		// but the cycle counter, and the next cycle anything *can* happen
+		// is bounded below by known timestamps: the ROB head's completion
+		// (commit), each queue's next-ready bound (issue — a true lower
+		// bound, see issueSelect), the frontend queue's head arrival
+		// (dispatch; a dispatch blocked on window or ROB space instead
+		// waits on an issue or commit, which the first two bounds cover),
+		// and the blocking branch's resolution (fetch). Jumping to the
+		// earliest bound skips exactly the cycles the loop would have
+		// walked through doing nothing — mispredict stalls and long memory
+		// waits — after accounting their per-cycle statistics in bulk.
+		// Partitioned selection couples consecutive cycles through its
+		// latches, so it never skips.
+		if committed == 0 && dispatchedNow == 0 && !fetched && !resumed &&
+			!issuedFrom[0] && !issuedFrom[1] && !preSel {
+			next := int64(pending)
+			if c := times[head].complete; c != pending {
+				next = c + 1
+			}
+			if intQ.nextReady < next {
+				next = intQ.nextReady
+			}
+			if nq == 2 && fpQ.nextReady < next {
+				next = fpQ.nextReady
+			}
+			if dispIdx < fetchIdx {
+				if r := fetchReady[dispIdx]; r < next {
+					next = r
+				}
+			}
+			if fetchBlock >= 0 && fetchResume < next {
+				next = fetchResume
+			}
+			if next > cycle && next != pending {
+				skipped := uint64(next - cycle)
+				stats.SimCycles += skipped
+				stats.SumWindowOcc += uint64(resident) * skipped
+				if fetchBlock >= 0 {
+					stats.FetchBlockedCycles += skipped
+				}
+				cycle = next
+			}
+		}
 	}
 
 	total := uint64(n - warmIdx)
@@ -463,7 +638,7 @@ func runOutOfOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 		warmCycle = 0
 		total = uint64(n)
 	}
-	cycles := uint64(commitAt[n-1] - warmCycle + 1)
+	cycles := uint64(lastCommit - warmCycle + 1)
 	stats.Instructions = total
 	stats.Cycles = cycles
 	stats.IPC = float64(total) / float64(cycles)
@@ -476,12 +651,13 @@ func runOutOfOrder(p Params, tr *trace.Trace, scr *Scratch) Stats {
 // only in-window tag broadcasts, not register-file reads of older results).
 // Otherwise the operand stays pending until the producer's issue delivers
 // it through the consumer index.
-func resolveOperand(src int32, dataAt, completeAt []int64, cycle int64, slot *int32) int64 {
+func resolveOperand(src int32, times []instTimes, cycle int64, slot *int32) int64 {
 	if src < 0 {
 		return 0
 	}
-	if dataAt[src] != pending {
-		if c := completeAt[src]; c > cycle {
+	t := &times[src]
+	if t.data != pending {
+		if c := t.complete; c > cycle {
 			return c
 		}
 		return 0
@@ -490,11 +666,37 @@ func resolveOperand(src int32, dataAt, completeAt []int64, cycle int64, slot *in
 	return pending
 }
 
-// issueQueue is one issue window (or one of the 21264's two queues).
+// issueQueue is one issue window (or one of the 21264's two queues),
+// kept as parallel arrays: ready holds each slot's selection timestamp
+// (the cycle both operands are visible, or pending while any operand
+// still awaits its producer's wakeup) and entries the per-slot cold
+// state, so the per-cycle selection scan walks a dense timestamp array.
 type issueQueue struct {
+	ready   []int64
 	entries []winEntry
 	cap     int
 	segSize int // entries per wakeup segment
+
+	// live counts the resident (non-tombstone) entries; it is the queue's
+	// occupancy for capacity stalls and window-occupancy statistics. With
+	// eager compaction live == len(entries) between cycles; with lazy
+	// compaction issued entries linger as tombstones until the array's
+	// slack runs out, so len(entries) overcounts.
+	live int
+
+	// firstGap is the oldest tombstoned slot, the position compaction can
+	// start rewriting from (entries below it never move). intMax while the
+	// queue has no tombstones.
+	firstGap int
+
+	// sched holds one bit per slot, set while the slot's entry is fully
+	// scheduled (both operands resolved, ready[slot] != pending) — the
+	// selection candidates. The per-cycle scan walks set bits instead of
+	// every slot, so entries still awaiting a producer and tombstones cost
+	// nothing. Maintained at dispatch, wakeup delivery, issue and
+	// compaction; the partitioned-selection scan ignores it (its latches,
+	// not readiness, gate eligibility beyond stage 1).
+	sched []uint64
 
 	// nextReady is a lower bound on the next cycle at which any resident
 	// entry could issue; while cycle < nextReady the selection scan is
@@ -505,23 +707,89 @@ type issueQueue struct {
 	nextReady int64
 }
 
-// reset configures the queue for a run, reusing the entry storage.
+const intMax = int(^uint(0) >> 1)
+
+// queuePos slots pack the instruction's queue into one high bit next to
+// its position, so wakeup delivery resolves a consumer's queue and slot
+// with the single queuePos load (-1, the absent marker, stays negative).
+const (
+	qposQueueShift = 30
+	qposMask       = 1<<qposQueueShift - 1
+)
+
+// reset configures the queue for a run, reusing the entry storage. The
+// arrays carry a slack of one extra capacity so lazy compaction runs once
+// per ~capacity dispatches instead of once per issuing cycle.
 func (q *issueQueue) reset(capacity, stages int) {
-	if cap(q.entries) < capacity {
-		q.entries = make([]winEntry, 0, capacity)
+	if cap(q.entries) < 2*capacity {
+		q.entries = make([]winEntry, 0, 2*capacity)
+		q.ready = make([]int64, 0, 2*capacity)
 	}
 	q.entries = q.entries[:0]
+	q.ready = q.ready[:0]
+	if words := (cap(q.entries) + 63) / 64; len(q.sched) < words {
+		q.sched = make([]uint64, words)
+	}
+	for i := range q.sched {
+		q.sched[i] = 0
+	}
 	q.cap = capacity
 	q.segSize = (capacity + stages - 1) / stages
+	q.live = 0
+	q.firstGap = intMax
 	q.nextReady = 0
+}
+
+// compact rewrites the queue's arrays without the tombstones of issued
+// entries, restoring live == len(entries). Entries keep their relative
+// (age) order; slots older than the first gap keep their positions, so
+// the rewrite starts there. This is the paper's collapsing window: under
+// eager compaction (segmented wakeup, whose visibility segments are
+// position-dependent) it runs every issuing cycle; under lazy compaction
+// it runs only when the array's slack is exhausted, amortizing the copies
+// over ~capacity dispatches. qbit is the queue's qposQueueShift-encoded
+// identity, re-stamped on every rewritten queuePos slot.
+func (q *issueQueue) compact(queuePos []int32, qbit int32) {
+	start := q.firstGap
+	if start >= len(q.entries) {
+		q.firstGap = intMax
+		return
+	}
+	// The scheduled bitmap is position-indexed: bits below start stay (those
+	// entries do not move), the rest are rebuilt in the same pass that
+	// assigns the new positions.
+	w0 := start >> 6
+	q.sched[w0] &= 1<<uint(start&63) - 1
+	for i := w0 + 1; i < len(q.sched); i++ {
+		q.sched[i] = 0
+	}
+	keep := q.entries[:start]
+	keepReady := q.ready[:start]
+	for wi := start; wi < len(q.entries); wi++ {
+		e := q.entries[wi]
+		if e.idx >= 0 {
+			pos := len(keep)
+			queuePos[e.idx] = int32(pos) | qbit
+			keep = append(keep, e)
+			r := q.ready[wi]
+			keepReady = append(keepReady, r)
+			if r != pending {
+				q.sched[pos>>6] |= 1 << uint(pos&63)
+			}
+		}
+	}
+	q.entries = keep
+	q.ready = keepReady
+	q.firstGap = intMax
 }
 
 // issueSelect picks the instructions to issue from one queue this cycle,
 // honouring the shared issue widths, the segmented-wakeup visibility times,
-// and (when enabled) the partitioned selection quotas. It decrements the
-// budgets in place and appends the selected trace indices to sel, oldest
-// first, returning the filled slice (caller-provided scratch; never
-// allocates at steady state).
+// and (when enabled) the partitioned selection quotas. It appends the
+// selected trace indices to sel, oldest first, returning the filled slice
+// (caller-provided scratch; never allocates at steady state) and the
+// remaining budgets (taken and returned by value so the scan loop keeps
+// them in registers).
 //
 // The second result is the queue's next-ready bound: the earliest cycle
 // at which this queue could select anything, given what this scan saw. An
@@ -534,63 +802,140 @@ func (q *issueQueue) reset(capacity, stages int) {
 // (every resolved latency is at least one cycle), so the bound being a
 // true lower bound means skipped scans select exactly what a real scan
 // would have: nothing.
-func issueSelect(p Params, insts []trace.Inst, q *issueQueue, cycle int64,
-	intBudget, fpBudget *int, preSel bool, sel []int32) ([]int32, int64) {
+// mixed says the queue can hold both instruction classes (the unified
+// window); a split queue holds exactly one class (fp says which), so its
+// scan charges a single budget without consulting the per-instruction
+// flags at all.
+func issueSelect(flags []uint8, q *issueQueue, cycle int64,
+	intBudget, fpBudget int, preSel, mixed, fp bool, sel []int32) ([]int32, int64, int, int) {
 
 	nextReady := int64(pending)
-	for wi := range q.entries {
-		if *intBudget == 0 && *fpBudget == 0 {
-			nextReady = cycle + 1
-			break
-		}
-		e := &q.entries[wi]
-		// Resident entries are always un-issued (issued ones are compacted
-		// away the same cycle), so the single ready timestamp decides
-		// selectability; it doubles as the entry's next-ready contribution
-		// (pending, meaning "still awaiting a producer", never lowers the
-		// bound since nextReady starts there).
-		if e.ready > cycle {
-			if e.ready < nextReady {
-				nextReady = e.ready
+	ready := q.ready
+	if preSel {
+		// Partitioned selection latches gate eligibility beyond stage 1,
+		// so the scan walks every slot the old-fashioned way. These
+		// queues compact eagerly: resident slots are always un-issued.
+		for wi := range ready {
+			if intBudget == 0 && fpBudget == 0 {
+				nextReady = cycle + 1
+				break
 			}
-			continue
-		}
-		// Partitioned selection: instructions beyond stage 1 are only
-		// eligible if a pre-selection block latched them last cycle.
-		if preSel && wi >= q.segSize && !e.preSelected {
-			nextReady = cycle + 1
-			continue
-		}
-		if insts[e.idx].Class.IsFP() {
-			if *fpBudget == 0 {
+			if r := ready[wi]; r > cycle {
+				if r < nextReady {
+					nextReady = r
+				}
+				continue
+			}
+			e := &q.entries[wi]
+			// Instructions beyond stage 1 are only eligible if a
+			// pre-selection block latched them last cycle.
+			if wi >= q.segSize && !e.preSelected {
 				nextReady = cycle + 1
 				continue
 			}
-			*fpBudget--
-		} else {
-			if *intBudget == 0 {
-				nextReady = cycle + 1
-				continue
+			if flags[e.idx]&dFP != 0 {
+				if fpBudget == 0 {
+					nextReady = cycle + 1
+					continue
+				}
+				fpBudget--
+			} else {
+				if intBudget == 0 {
+					nextReady = cycle + 1
+					continue
+				}
+				intBudget--
 			}
-			*intBudget--
+			sel = append(sel, e.idx)
 		}
-		sel = append(sel, e.idx)
+		return sel, nextReady, intBudget, fpBudget
 	}
-	return sel, nextReady
+
+	// Sparse scan: only fully scheduled entries (sched bit set) can be
+	// selectable, and the bitmap walks them oldest-first. Entries still
+	// awaiting a producer contribute nothing to the next-ready bound (the
+	// wakeup delivery that schedules them lowers it at delivery time), and
+	// tombstones have no bit, so neither costs a slot visit.
+	if !mixed {
+		// Single-class queue: one budget, and no flags lookup per entry.
+		// Once the budget is gone nothing further can be selected, so the
+		// scan ends with the (always valid) cycle+1 bound instead of
+		// walking the rest of the bitmap for a sharper one.
+		budget := intBudget
+		if fp {
+			budget = fpBudget
+		}
+		for k, w := range q.sched[:uint(len(ready)+63)>>6] {
+			for w != 0 {
+				wi := k<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				if r := ready[wi]; r > cycle {
+					if r < nextReady {
+						nextReady = r
+					}
+					continue
+				}
+				if budget == 0 {
+					if fp {
+						return sel, cycle + 1, intBudget, 0
+					}
+					return sel, cycle + 1, 0, fpBudget
+				}
+				budget--
+				sel = append(sel, q.entries[wi].idx)
+			}
+		}
+		if fp {
+			return sel, nextReady, intBudget, budget
+		}
+		return sel, nextReady, budget, fpBudget
+	}
+	for k, w := range q.sched[:uint(len(ready)+63)>>6] {
+		for w != 0 {
+			if intBudget == 0 && fpBudget == 0 {
+				return sel, cycle + 1, intBudget, fpBudget
+			}
+			wi := k<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if r := ready[wi]; r > cycle {
+				if r < nextReady {
+					nextReady = r
+				}
+				continue
+			}
+			e := &q.entries[wi]
+			if flags[e.idx]&dFP != 0 {
+				if fpBudget == 0 {
+					nextReady = cycle + 1
+					continue
+				}
+				fpBudget--
+			} else {
+				if intBudget == 0 {
+					nextReady = cycle + 1
+					continue
+				}
+				intBudget--
+			}
+			sel = append(sel, e.idx)
+		}
+	}
+	return sel, nextReady, intBudget, fpBudget
 }
 
 // markPreSelections implements the Figure 12 pre-selection blocks: each
 // stage beyond the first examines its ready instructions and latches up to
 // its quota for the selector to consider next cycle. quota is caller
 // scratch of at least stages slots, overwritten on every call.
-func markPreSelections(p Params, q *issueQueue, cycle int64, stages int, quota []int) {
+func markPreSelections(preSelect []int, q *issueQueue, cycle int64, stages int, quota []int) {
 	for s := 1; s < stages; s++ {
 		n := 0
-		if s-1 < len(p.PreSelect) {
-			n = p.PreSelect[s-1]
+		if s-1 < len(preSelect) {
+			n = preSelect[s-1]
 		}
 		quota[s] = n
 	}
+	ready := q.ready
 	for wi := range q.entries {
 		e := &q.entries[wi]
 		s := wi / q.segSize
@@ -598,22 +943,45 @@ func markPreSelections(p Params, q *issueQueue, cycle int64, stages int, quota [
 			continue
 		}
 		e.preSelected = false
-		if s < stages && quota[s] > 0 && e.ready <= cycle {
+		if s < stages && quota[s] > 0 && ready[wi] <= cycle {
 			e.preSelected = true
 			quota[s]--
 		}
 	}
 }
 
-// execLatency returns the total execution latency of an instruction in
+// latEnv is the per-run execution-latency context: the clock-resolved
+// per-class latencies and the memory system flattened out of Params, so
+// the per-issue hot path reads a few scalars instead of copying the
+// whole Params struct per instruction.
+type latEnv struct {
+	exec          [isa.NumClasses]int64
+	dl1, l2, mem  int64
+	extraLoadUse  int64
+	perfectMemory bool
+	hier          *mem.Hierarchy
+}
+
+func (e *latEnv) init(p *Params, hier *mem.Hierarchy) {
+	for c := 0; c < isa.NumClasses; c++ {
+		e.exec[c] = int64(p.Timing.Exec[c])
+	}
+	e.dl1 = int64(p.Timing.DL1)
+	e.l2 = int64(p.Timing.L2)
+	e.mem = int64(p.Timing.Mem)
+	e.extraLoadUse = int64(p.ExtraLoadUse)
+	e.perfectMemory = p.Machine.PerfectMemory
+	e.hier = hier
+}
+
+// latency returns the total execution latency of an instruction in
 // cycles, resolving loads through the cache hierarchy.
-func execLatency(p Params, in trace.Inst, hier *mem.Hierarchy, stats *Stats) int64 {
-	tmg := p.Timing
-	switch in.Class {
-	case isa.Load:
+func (e *latEnv) latency(f uint8, cls isa.Class, addr uint64, stats *Stats) int64 {
+	switch {
+	case f&dLoad != 0:
 		lvl := mem.L1Hit
-		if !p.Machine.PerfectMemory {
-			lvl = hier.Access(in.Addr)
+		if !e.perfectMemory {
+			lvl = e.hier.Access(addr)
 		}
 		// Table 3's DL1 row is the full load-use latency (the 21264's row
 		// reads 3 cycles, its real load-use delay); L2 and memory
@@ -622,24 +990,22 @@ func execLatency(p Params, in trace.Inst, hier *mem.Hierarchy, stats *Stats) int
 		switch lvl {
 		case mem.L1Hit:
 			stats.L1Hits++
-			lat = int64(tmg.DL1)
+			lat = e.dl1
 		case mem.L2Hit:
 			stats.L2Hits++
-			lat = int64(tmg.L2)
+			lat = e.l2
 		default:
 			stats.MemAccesses++
-			lat = int64(tmg.Mem)
+			lat = e.mem
 		}
-		return lat + int64(p.ExtraLoadUse)
-	case isa.Store:
-		if !p.Machine.PerfectMemory {
-			hier.Access(in.Addr)
+		return lat + e.extraLoadUse
+	case f&dStore != 0:
+		if !e.perfectMemory {
+			e.hier.Access(addr)
 		}
-		return int64(tmg.Exec[isa.Store])
-	case isa.Branch:
-		return int64(tmg.Exec[isa.Branch])
+		return e.exec[isa.Store]
 	default:
-		return int64(tmg.Exec[in.Class])
+		return e.exec[cls]
 	}
 }
 

@@ -3,9 +3,9 @@ package pipeline
 import (
 	"sync"
 
-	"repro/internal/branch"
 	"repro/internal/config"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // Scratch is the reusable simulation state of one Run: the
@@ -22,11 +22,13 @@ import (
 // one from a package pool. Traces stay immutable throughout: a Scratch
 // only ever holds simulator-private state, never trace data.
 type Scratch struct {
-	// Per-instruction arenas, sized to the trace on each run.
-	dataAt     []int64 // cycle a consumer may issue (post-bypass)
-	completeAt []int64 // cycle the instruction has executed
-	commitAt   []int64 // cycle the instruction commits
-	queuePos   []int32 // position in its issue queue, -1 while absent
+	// Per-instruction arenas, sized to the trace on each run. The data
+	// (consumer-visible, post-bypass) and complete (executed) timestamps
+	// are paired in one struct because dispatch resolves both for the same
+	// producer back to back — one cache line per random producer lookup
+	// instead of two.
+	times    []instTimes
+	queuePos []int32 // queue-tagged issue-queue position (see qposMask), -1 while absent
 
 	queueStore [2]issueQueue
 	queueRefs  []*issueQueue // reused header for the active queue set
@@ -34,35 +36,53 @@ type Scratch struct {
 	selected []int32 // issueSelect output scratch
 	quota    []int   // markPreSelections quota scratch
 
-	frontQ fqRing
-
-	pred *branch.Tournament
+	// fetchReady[i] is the cycle instruction i clears the frontend
+	// pipeline and may dispatch, written once at fetch. Fetch and dispatch
+	// both walk the trace in order, so the frontend queue between them is
+	// just the index range [dispatch cursor, fetch cursor) over this
+	// arena — no reset needed: a slot is always written (this run) before
+	// it is read.
+	fetchReady []int64
 
 	hier    *mem.Hierarchy
 	hierKey hierKey
+
+	// warmTmpl is the batch prewarm template (see RunBatch): a hierarchy
+	// prewarmed once per partition whose state later lanes copy.
+	warmTmpl    *mem.Hierarchy
+	warmTmplKey hierKey
 }
 
 // NewScratch returns an empty Scratch; arenas grow on first use.
 func NewScratch() *Scratch { return &Scratch{} }
 
+// instTimes is one instruction's dynamic timestamps: data is the cycle a
+// consumer may issue (post-bypass), complete the cycle the instruction
+// has executed.
+type instTimes struct {
+	data, complete int64
+}
+
 // arenas sizes the per-instruction arrays for an n-instruction trace and
 // resets them to their start-of-run values.
 func (s *Scratch) arenas(n int) {
-	if cap(s.dataAt) < n {
-		s.dataAt = make([]int64, n)
-		s.completeAt = make([]int64, n)
-		s.commitAt = make([]int64, n)
+	if cap(s.times) < n {
+		s.times = make([]instTimes, n)
 		s.queuePos = make([]int32, n)
+		s.fetchReady = make([]int64, n)
+		// queuePos self-restores: a completed run issues (and so clears
+		// the slot of) every instruction, so only fresh storage needs the
+		// -1 fill. fetchReady needs none at all — a slot is written at
+		// fetch before dispatch can read it.
+		for i := range s.queuePos {
+			s.queuePos[i] = -1
+		}
 	}
-	s.dataAt = s.dataAt[:n]
-	s.completeAt = s.completeAt[:n]
-	s.commitAt = s.commitAt[:n]
+	s.times = s.times[:n]
 	s.queuePos = s.queuePos[:n]
+	s.fetchReady = s.fetchReady[:n]
 	for i := 0; i < n; i++ {
-		s.dataAt[i] = pending
-		s.completeAt[i] = pending
-		s.commitAt[i] = pending
-		s.queuePos[i] = -1
+		s.times[i] = instTimes{data: pending, complete: pending}
 	}
 }
 
@@ -107,16 +127,6 @@ func (s *Scratch) quotaScratch(stages int) []int {
 	return s.quota[:stages]
 }
 
-// predictor returns the scratch's branch predictor in boot state.
-func (s *Scratch) predictor() *branch.Tournament {
-	if s.pred == nil {
-		s.pred = branch.New()
-	} else {
-		s.pred.Reset()
-	}
-	return s.pred
-}
-
 // hierKey is the cache-geometry identity of a memory hierarchy: two
 // hierarchies with equal keys are interchangeable after a Reset.
 type hierKey struct {
@@ -150,53 +160,41 @@ func (s *Scratch) hierarchy(m config.Machine) *mem.Hierarchy {
 	return s.hier
 }
 
+// hierarchyFor puts the scratch's hierarchy in start-of-run state for
+// machine m: reset and prewarmed from the trace's working set, or — when
+// a batch supplies a prewarmed template of the same geometry — copied
+// from the template, skipping the per-lane reset and prewarm walks. The
+// two paths produce bit-identical state (the template is itself reset
+// and prewarmed from the same trace; see RunBatch).
+func (s *Scratch) hierarchyFor(m config.Machine, tr *trace.Trace, warm *mem.Hierarchy) *mem.Hierarchy {
+	if warm != nil {
+		key := hierKeyFor(m)
+		if s.hier == nil || key != s.hierKey {
+			s.hier = newHierarchy(m)
+			s.hierKey = key
+		}
+		s.hier.CopyStateFrom(warm)
+		return s.hier
+	}
+	h := s.hierarchy(m)
+	h.Coverage = tr.PrefetchCoverage
+	h.Prewarm(tr.HotBytes, tr.WarmBytes)
+	return h
+}
+
+// warmTemplate returns the scratch's batch prewarm template for machine
+// m in reset state, rebuilding it when the geometry changed.
+func (s *Scratch) warmTemplate(m config.Machine) *mem.Hierarchy {
+	key := hierKeyFor(m)
+	if s.warmTmpl == nil || key != s.warmTmplKey {
+		s.warmTmpl = newHierarchy(m)
+		s.warmTmplKey = key
+		return s.warmTmpl
+	}
+	s.warmTmpl.Reset()
+	return s.warmTmpl
+}
+
 // scratchPool serves direct Run callers that do not manage their own
 // per-worker Scratch (examples, tests, one-off simulations).
 var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
-
-// fq is one frontend-queue slot: a fetched instruction and the cycle it
-// reaches dispatch.
-type fq struct {
-	idx     int32
-	readyAt int64
-}
-
-// fqRing is the frontend queue between fetch and dispatch: a growable
-// power-of-two ring buffer, so steady-state push/pop is pointer
-// arithmetic instead of the slice churn of frontQ = frontQ[1:].
-type fqRing struct {
-	buf  []fq // power-of-two length
-	head int
-	size int
-}
-
-func (r *fqRing) reset() { r.head, r.size = 0, 0 }
-
-func (r *fqRing) len() int { return r.size }
-
-func (r *fqRing) front() fq { return r.buf[r.head] }
-
-func (r *fqRing) push(f fq) {
-	if r.size == len(r.buf) {
-		r.grow()
-	}
-	r.buf[(r.head+r.size)&(len(r.buf)-1)] = f
-	r.size++
-}
-
-func (r *fqRing) pop() {
-	r.head = (r.head + 1) & (len(r.buf) - 1)
-	r.size--
-}
-
-func (r *fqRing) grow() {
-	n := 2 * len(r.buf)
-	if n == 0 {
-		n = 64
-	}
-	buf := make([]fq, n)
-	for i := 0; i < r.size; i++ {
-		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
-	}
-	r.buf, r.head = buf, 0
-}

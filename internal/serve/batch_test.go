@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// postSweepBody sends one sweep request and returns the raw response
+// body: the byte-identity oracle reads the stream verbatim, newlines,
+// field order and trailer included.
+func postSweepBody(t *testing.T, url, body string) []byte {
+	t.Helper()
+	resp, err := http.Post(url+"/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return raw
+}
+
+// TestBatchedSweepBytesIdentical is the serving layer's batch oracle:
+// the same multi-depth, multi-benchmark sweep against a batched and an
+// unbatched daemon must produce byte-identical NDJSON bodies and the
+// same cache economy. The grid shape (5 depths x 2 benchmarks, one
+// repeated depth list entry collapsing in expansion) is exactly the
+// case the grouped dispatch accelerates, so any accounting that leaked
+// into the wire format would show up here.
+func TestBatchedSweepBytesIdentical(t *testing.T) {
+	const req = `{"useful":[2,4,6,8,16],"benchmarks":["gcc","swim"],"instructions":4000}`
+
+	_, batched := newTestServer(t, Config{Workers: 2})
+	srvFlat, flat := newTestServer(t, Config{Workers: 2, DisableBatch: true})
+	if srvFlat.sched.batch {
+		t.Fatal("DisableBatch did not reach the scheduler")
+	}
+
+	bodyBatched := postSweepBody(t, batched.URL, req)
+	bodyFlat := postSweepBody(t, flat.URL, req)
+	if !bytes.Equal(bodyBatched, bodyFlat) {
+		t.Fatalf("batched and unbatched sweep bodies differ:\nbatched: %s\nflat:    %s", bodyBatched, bodyFlat)
+	}
+
+	// A repeat of the same request must be a pure cache replay on both
+	// daemons — same bytes again, and an economy that agrees: every
+	// point simulated exactly once, the second pass all hits.
+	if again := postSweepBody(t, batched.URL, req); !bytes.Equal(again, bodyBatched) {
+		t.Fatal("batched daemon's cached replay differs from its first stream")
+	}
+	if again := postSweepBody(t, flat.URL, req); !bytes.Equal(again, bodyFlat) {
+		t.Fatal("unbatched daemon's cached replay differs from its first stream")
+	}
+
+	stB := getStats(t, batched.URL)
+	stF := getStats(t, flat.URL)
+	for _, c := range []struct {
+		name          string
+		batched, flat int64
+	}{
+		{"cache_hits", stB.CacheHits, stF.CacheHits},
+		{"cache_misses", stB.CacheMisses, stF.CacheMisses},
+		{"points_done", stB.PointsDone, stF.PointsDone},
+		{"dedup_joins", stB.DedupJoins, stF.DedupJoins},
+	} {
+		if c.batched != c.flat {
+			t.Errorf("%s: batched %d, unbatched %d — cache economy must not depend on batching", c.name, c.batched, c.flat)
+		}
+	}
+	if stB.CacheMisses != 10 {
+		t.Errorf("cache_misses = %d, want 10 (5 depths x 2 benchmarks, simulated once)", stB.CacheMisses)
+	}
+	if stB.CacheHits != 10 {
+		t.Errorf("cache_hits = %d, want 10 (the full repeat request)", stB.CacheHits)
+	}
+}
+
+// TestGroupedBatchHandlesMixedTraces drives the grouped dispatch with
+// points that must NOT share a group — different instruction counts and
+// different seeds over one benchmark — plus a depth pair that must. It
+// guards the grouping key: a wrong key either panics SimulateBatch
+// (mixed traces in one batch) or silently merges distinct traces.
+func TestGroupedBatchHandlesMixedTraces(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	for _, req := range []string{
+		`{"useful":[6,8],"benchmarks":["gcc"],"instructions":4000}`,
+		`{"useful":[6,8],"benchmarks":["gcc"],"instructions":6000}`,
+		`{"useful":[6,8],"benchmarks":["gcc"],"instructions":4000,"seed":7}`,
+	} {
+		resp := postSweep(t, ts.URL, req)
+		lines, done := readStream(t, resp)
+		if !done || len(lines) != 2 {
+			t.Fatalf("request %s: got %d lines (done=%v), want 2", req, len(lines), done)
+		}
+	}
+}

@@ -3,8 +3,10 @@ package serve
 // The scheduler is the daemon's heart: a content-addressed result cache
 // over single-point simulations, a singleflight registry of in-flight
 // points, and one dispatcher that feeds queued points through the
-// deterministic executor (internal/exec) in batches, one reusable
-// pipeline.Scratch per worker. Concurrent clients asking overlapping
+// deterministic executor (internal/exec) in batches — grouped by
+// benchmark trace, so the depths of a multi-depth sweep share one trace
+// walk (core.SimulateBatch) — with one reusable scratch per worker.
+// Concurrent clients asking overlapping
 // grids attach to the same job, so each distinct point simulates at most
 // once per process; a point whose every requester has disconnected is
 // pruned from the queue immediately (or skipped mid-batch through the
@@ -89,6 +91,7 @@ type scheduler struct {
 	workers     int
 	codeVersion string
 	queueLimit  int
+	batch       bool // group a batch's points by benchmark trace (see runGrouped)
 	cache       store.ResultStore
 
 	mu       sync.Mutex
@@ -102,7 +105,7 @@ type scheduler struct {
 	stopped chan struct{}
 }
 
-func newScheduler(workers, queueLimit int, cache store.ResultStore, codeVersion string, rec *obs.Recorder, log *slog.Logger, metrics *serverMetrics) *scheduler {
+func newScheduler(workers, queueLimit int, cache store.ResultStore, codeVersion string, batch bool, rec *obs.Recorder, log *slog.Logger, metrics *serverMetrics) *scheduler {
 	if log == nil {
 		log = slog.Default()
 	}
@@ -116,6 +119,7 @@ func newScheduler(workers, queueLimit int, cache store.ResultStore, codeVersion 
 		workers:     workers,
 		codeVersion: codeVersion,
 		queueLimit:  queueLimit,
+		batch:       batch,
 		cache:       cache,
 		inflight:    map[string]*job{},
 		wake:        make(chan struct{}, 1),
@@ -263,53 +267,21 @@ func (s *scheduler) takeBatch() []*job {
 	return batch
 }
 
-// runBatch simulates one batch on the deterministic executor, one
-// reusable Scratch per worker. Each job finalizes (cache write + done
-// close) the moment its point completes, so request streams advance
-// while the batch is still running; jobs whose waiters all vanished are
-// skipped by the executor and either requeued (a new waiter attached in
-// the window before the skip) or dropped.
+// runBatch simulates one batch on the deterministic executor. On the
+// batched path (the default) the jobs are first grouped by benchmark
+// trace, so a multi-depth sweep runs every depth of a benchmark through
+// one pipeline.RunBatch walk; -batch=false keeps the per-point flat
+// path. Either way each job finalizes (cache write + done close) the
+// moment its point completes, so request streams advance while the
+// batch is still running; jobs whose waiters all vanished are skipped
+// by the executor and either requeued (a new waiter attached in the
+// window before the skip) or dropped.
 func (s *scheduler) runBatch(batch []*job) {
-	pool := exec.Pool{
-		Workers:     s.workers,
-		OnTaskStart: s.rec.TaskStart,
-		OnTaskDone:  s.rec.TaskDone,
-		Skip:        func(i int) bool { return batch[i].waiters.Load() <= 0 },
+	if s.batch {
+		s.runGrouped(batch)
+	} else {
+		s.runFlat(batch)
 	}
-	exec.MapWithState(pool, batch, pipeline.NewScratch,
-		func(sc *pipeline.Scratch, _ int, j *job) struct{} {
-			j.ran = true
-			s.metrics.queueWait.Observe(time.Since(j.enqueued).Seconds())
-			res, err := core.SimulatePointWith(j.opts, sc, s.rec)
-			if err != nil {
-				// Points are validated at admission, so this is a
-				// should-not-happen guard; surface it on the stream.
-				j.err = err
-				s.finalize(j, nil)
-				return struct{}{}
-			}
-			line, merr := json.Marshal(newPointResult(j.key, j.opts, res))
-			if merr != nil {
-				j.err = merr
-				s.finalize(j, nil)
-				return struct{}{}
-			}
-			// The newline is part of the cached line: the slice is shared
-			// by every stream that hits this point, so it must never be
-			// appended to after it leaves this worker.
-			line = append(line, '\n')
-			s.rec.Add("simulations", 1)
-			s.rec.Add("wakeup_wakes", int64(res.Stats.WakeupWakes))
-			s.rec.Add("wakeup_scanned", int64(res.Stats.WakeupScanned))
-			s.finalize(j, line)
-			// The trace's scheduler hop: ties the simulation and store
-			// fill back to the request that caused them.
-			s.log.Debug("point simulated",
-				"request_id", j.origin,
-				"key", j.key,
-				"bytes", len(line))
-			return struct{}{}
-		})
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -330,6 +302,136 @@ func (s *scheduler) runBatch(batch []*job) {
 		close(j.done)
 		s.rec.Add("points_dropped", 1)
 	}
+}
+
+// runFlat simulates a batch point by point, one reusable Scratch per
+// worker: the pre-batching dispatch, kept behind -batch=false as the
+// A/B reference for the grouped path.
+func (s *scheduler) runFlat(batch []*job) {
+	pool := exec.Pool{
+		Workers:     s.workers,
+		OnTaskStart: s.rec.TaskStart,
+		OnTaskDone:  s.rec.TaskDone,
+		Skip:        func(i int) bool { return batch[i].waiters.Load() <= 0 },
+	}
+	exec.MapWithState(pool, batch, pipeline.NewScratch,
+		func(sc *pipeline.Scratch, _ int, j *job) struct{} {
+			j.ran = true
+			s.metrics.queueWait.Observe(time.Since(j.enqueued).Seconds())
+			res, err := core.SimulatePointWith(j.opts, sc, s.rec)
+			s.finishJob(j, res, err)
+			return struct{}{}
+		})
+}
+
+// traceIdent is the normalized trace identity the grouped dispatch
+// batches on: two points with equal idents walk the same generated
+// trace, so their depth-invariant work can be shared.
+type traceIdent struct {
+	bench string
+	n     int
+	seed  uint64
+}
+
+func identOf(o core.PointOptions) traceIdent {
+	o = o.Normalize()
+	return traceIdent{bench: o.Benchmark, n: o.Instructions, seed: o.Seed}
+}
+
+// runGrouped simulates a batch grouped by benchmark trace: one executor
+// task per group (groups form in first-seen queue order), every group
+// running its lanes through core.SimulateBatch with one reusable
+// BatchScratch per worker. The executor's Skip hook drops a group only
+// when every lane lost its waiters; a group that runs re-filters its
+// lanes, so a point abandoned after the group check simply isn't
+// simulated and takes the usual requeue-or-drop path after the batch.
+// Result lines are byte-identical to runFlat's — the batch accounting
+// counters are excluded from the wire format — which the serve tests
+// pin.
+func (s *scheduler) runGrouped(batch []*job) {
+	groups := make([][]*job, 0, len(batch))
+	index := make(map[traceIdent]int, len(batch))
+	for _, j := range batch {
+		id := identOf(j.opts)
+		gi, ok := index[id]
+		if !ok {
+			gi = len(groups)
+			index[id] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], j)
+	}
+	pool := exec.Pool{
+		Workers:     s.workers,
+		OnTaskStart: s.rec.TaskStart,
+		OnTaskDone:  s.rec.TaskDone,
+		Skip: func(g int) bool {
+			for _, j := range groups[g] {
+				if j.waiters.Load() > 0 {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	exec.MapGroupsWithState(pool, groups, pipeline.NewBatchScratch,
+		func(bs *pipeline.BatchScratch, _ int, jobs []*job) []struct{} {
+			live := jobs[:0]
+			for _, j := range jobs {
+				if j.waiters.Load() > 0 {
+					live = append(live, j)
+				}
+			}
+			if len(live) == 0 {
+				return nil
+			}
+			opts := make([]core.PointOptions, len(live))
+			for i, j := range live {
+				j.ran = true
+				s.metrics.queueWait.Observe(time.Since(j.enqueued).Seconds())
+				opts[i] = j.opts
+			}
+			results, err := core.SimulateBatch(opts, bs, s.rec)
+			for i, j := range live {
+				if err != nil {
+					s.finishJob(j, core.BenchPoint{}, err)
+					continue
+				}
+				s.finishJob(j, results[i], nil)
+			}
+			return nil
+		})
+}
+
+// finishJob publishes one simulated job: marshal, count, finalize. err
+// is the should-not-happen guard for points that were validated at
+// admission; it surfaces on the stream without caching.
+func (s *scheduler) finishJob(j *job, res core.BenchPoint, err error) {
+	if err != nil {
+		j.err = err
+		s.finalize(j, nil)
+		return
+	}
+	line, merr := json.Marshal(newPointResult(j.key, j.opts, res))
+	if merr != nil {
+		j.err = merr
+		s.finalize(j, nil)
+		return
+	}
+	// The newline is part of the cached line: the slice is shared
+	// by every stream that hits this point, so it must never be
+	// appended to after it leaves this worker.
+	line = append(line, '\n')
+	s.rec.Add("simulations", 1)
+	s.rec.Add("wakeup_wakes", int64(res.Stats.WakeupWakes))
+	s.rec.Add("wakeup_scanned", int64(res.Stats.WakeupScanned))
+	s.finalize(j, line)
+	// The trace's scheduler hop: ties the simulation and store
+	// fill back to the request that caused them.
+	s.log.Debug("point simulated",
+		"request_id", j.origin,
+		"key", j.key,
+		"bytes", len(line))
 }
 
 // finalize publishes one completed job: result stored (on success — a

@@ -107,6 +107,14 @@ type Config struct {
 	// request is logged at Warn and counted in
 	// sweep_slow_requests_total; 0 disables the slow log.
 	SlowRequest time.Duration
+
+	// DisableBatch turns off the per-benchmark batch dispatch: every
+	// point simulates on the flat per-point executor path instead of
+	// grouping with the other queued points that share its trace.
+	// Response bodies and the cache economy are identical either way
+	// (the serve tests pin byte-identity); the flag exists as the A/B
+	// reference for the batched path and as an operator escape hatch.
+	DisableBatch bool
 }
 
 func (c Config) withDefaults() Config {
@@ -191,7 +199,7 @@ func New(cfg Config) *Server {
 	// s and only dereference s.sched at scrape time, while the scheduler
 	// needs the histogram handles at construction.
 	s.metrics = newServerMetrics(!cfg.DisableMetrics, s)
-	s.sched = newScheduler(cfg.Workers, cfg.QueueLimit, cfg.Store, cfg.CodeVersion, cfg.Rec, cfg.Log, s.metrics)
+	s.sched = newScheduler(cfg.Workers, cfg.QueueLimit, cfg.Store, cfg.CodeVersion, !cfg.DisableBatch, cfg.Rec, cfg.Log, s.metrics)
 	s.delta, _ = cfg.Store.(DeltaSource)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -429,31 +437,31 @@ func (s *Server) StatsSnapshot() Stats {
 	queued, running, cacheSize, cacheBytes := s.sched.gauges()
 	ss := s.cfg.Store.Stats()
 	st := Stats{
-		UptimeSeconds:  time.Since(s.start).Seconds(), // observation-only: never feeds a result body
-		QueueDepth:     queued,
-		RunningPoints:  running,
-		InflightPoints: queued + running,
-		CacheSize:      cacheSize,
-		CacheBytes:     cacheBytes,
-		CacheHits:      s.rec.Counter("point_cache_hits"),
-		CacheMisses:    s.rec.Counter("point_cache_misses"),
-		CacheEvictions: ss.Evictions,
-		WarmHits:       ss.WarmHits,
-		DiskHits:       ss.DiskHits,
-		Segments:       ss.Segments,
-		StoreBytes:     ss.StoreBytes,
-		Compactions:    ss.Compactions,
-		StoreCursor:    ss.Cursor,
+		UptimeSeconds:     time.Since(s.start).Seconds(), // observation-only: never feeds a result body
+		QueueDepth:        queued,
+		RunningPoints:     running,
+		InflightPoints:    queued + running,
+		CacheSize:         cacheSize,
+		CacheBytes:        cacheBytes,
+		CacheHits:         s.rec.Counter("point_cache_hits"),
+		CacheMisses:       s.rec.Counter("point_cache_misses"),
+		CacheEvictions:    ss.Evictions,
+		WarmHits:          ss.WarmHits,
+		DiskHits:          ss.DiskHits,
+		Segments:          ss.Segments,
+		StoreBytes:        ss.StoreBytes,
+		Compactions:       ss.Compactions,
+		StoreCursor:       ss.Cursor,
 		DiskEntries:       ss.DiskEntries,
 		StoreAppendErrors: ss.AppendErrors,
 		StoreReadErrors:   ss.ReadErrors,
-		DedupJoins:     s.rec.Counter("dedup_joins"),
-		Requests:       s.rec.Counter("requests"),
-		Rejected:       s.rec.Counter("requests_rejected"),
-		Disconnects:    s.rec.Counter("client_disconnects"),
-		PointsDone:     s.rec.Counter("points_done"),
-		PointsDropped:  s.rec.Counter("points_dropped"),
-		Telemetry:      s.rec.Snapshot(),
+		DedupJoins:        s.rec.Counter("dedup_joins"),
+		Requests:          s.rec.Counter("requests"),
+		Rejected:          s.rec.Counter("requests_rejected"),
+		Disconnects:       s.rec.Counter("client_disconnects"),
+		PointsDone:        s.rec.Counter("points_done"),
+		PointsDropped:     s.rec.Counter("points_dropped"),
+		Telemetry:         s.rec.Snapshot(),
 	}
 	if total := st.CacheHits + st.CacheMisses; total > 0 {
 		st.CacheHitRatio = float64(st.CacheHits) / float64(total)
