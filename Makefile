@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-stats fuzz-smoke bench-smoke bench-compare bench-record telemetry-smoke serve-smoke store-smoke metrics-smoke cover profile check
+.PHONY: build test race vet lint lint-stats fuzz-smoke bench-smoke bench-compare bench-record telemetry-smoke serve-smoke store-smoke metrics-smoke chaos-smoke run-regression-seeds cover profile check
 
 build:
 	$(GO) build ./...
@@ -29,13 +29,15 @@ lint-stats:
 	$(GO) run ./cmd/reprolint -stats-json ./...
 
 # A short fuzz pass over the external input surfaces: the shared CLI
-# flag parser, the run-manifest validator, and the linter's suppression
-# directive parser. 10s per target keeps it CI-sized; drop -fuzztime
-# for a real hunt.
+# flag parser, the run-manifest validator, the linter's suppression
+# directive parser, and the /sweep grid parser (where client-controlled
+# floats meet index arithmetic). 10s per target keeps it CI-sized; drop
+# -fuzztime for a real hunt.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSimFlags -fuzztime 10s ./internal/cliflags
 	$(GO) test -run '^$$' -fuzz FuzzManifestCheck -fuzztime 10s ./cmd/manifestcheck
 	$(GO) test -run '^$$' -fuzz FuzzAllowDirective -fuzztime 10s ./internal/analysis
+	$(GO) test -run '^$$' -fuzz FuzzSweepRequest -fuzztime 10s ./internal/serve
 
 # A fast pass over the benchmark harness: one iteration each, so every
 # experiment driver executes end to end without the full -bench cost.
@@ -167,6 +169,27 @@ metrics-smoke:
 	grep -q '^build_info{' /tmp/metrics.txt; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "metrics-smoke: exposition well-formed, request ID echoed, clean shutdown"
+
+# Chaos smoke: two bounded runs of the seeded fault-injection harness
+# (internal/chaos) against the real sweepd binary — one pinned seed so
+# every CI run replays a known mix, one rotating seed (default: today's
+# date) so the fleet keeps exploring new action sequences. A failure
+# prints the seed and the exact replay command; daemon logs and action
+# traces land in CHAOS_LOGDIR for CI to upload. Override CHAOS_SEED to
+# replay a specific failure.
+CHAOS_ACTIONS ?= 40
+CHAOS_SEED ?= $(shell date +%Y%m%d)
+CHAOS_LOGDIR ?= /tmp/chaos-logs
+
+chaos-smoke:
+	$(GO) test ./internal/chaos -run 'TestChaos$$' -chaos.actions=$(CHAOS_ACTIONS) -chaos.seed=42 -chaos.logdir=$(CHAOS_LOGDIR)
+	$(GO) test ./internal/chaos -run 'TestChaos$$' -chaos.actions=$(CHAOS_ACTIONS) -chaos.seed=$(CHAOS_SEED) -chaos.logdir=$(CHAOS_LOGDIR)
+
+# Replay every seed that ever exposed a serving-path bug
+# (internal/chaos/regression_seeds.json). Deterministic per seed: a pass
+# means the exact action sequences that once found bugs still pass.
+run-regression-seeds:
+	$(GO) test ./internal/chaos -run TestRegressionSeeds -chaos.logdir=$(CHAOS_LOGDIR) -v
 
 # Coverage with a ratchet floor: the gate trips when total statement
 # coverage falls below COVER_MIN (set just under the current baseline;

@@ -1,0 +1,630 @@
+package chaos
+
+// The action vocabulary: every way this harness abuses the daemon, as a
+// weighted table the seeded rng draws from. Actions run sequentially —
+// concurrency lives *inside* an action and is joined before it returns —
+// so the run quiesces between actions and the oracle can demand exact
+// counter deltas instead of inequalities.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// grid is one sweep request the harness knows the exact shape of: a
+// single benchmark crossed with a set of depths, pinned to an explicit
+// request seed so "fresh" grids get content addresses no earlier action
+// (or earlier daemon incarnation) has ever produced.
+type grid struct {
+	bench        string
+	useful       []float64
+	instructions int
+	seed         uint64
+	asRange      bool // render as useful_min/max (requires a contiguous step-1 grid)
+}
+
+// points is how many distinct simulation points the grid expands to:
+// one benchmark, distinct depths, no window stages.
+func (g grid) points() int { return len(g.useful) }
+
+func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// body renders the request JSON. The list and range forms of the same
+// contiguous grid expand to identical points server-side (the range
+// generator is index-based), which the byte-identity oracle leans on.
+func (g grid) body() string {
+	var b strings.Builder
+	if g.asRange {
+		fmt.Fprintf(&b, `{"useful_min":%s,"useful_max":%s`, ff(g.useful[0]), ff(g.useful[len(g.useful)-1]))
+	} else {
+		b.WriteString(`{"useful":[`)
+		for i, u := range g.useful {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(ff(u))
+		}
+		b.WriteString(`]`)
+	}
+	fmt.Fprintf(&b, `,"benchmarks":[%q],"instructions":%d,"seed":%d}`, g.bench, g.instructions, g.seed)
+	return b.String()
+}
+
+func (g grid) desc() string {
+	form := "list"
+	if g.asRange {
+		form = "range"
+	}
+	return fmt.Sprintf("%s u=%v n=%d seed=%d %s", g.bench, g.useful, g.instructions, g.seed, form)
+}
+
+var (
+	chaosBenches = []string{"gcc", "swim", "mcf", "mesa"}
+	// usefulUniverse keeps light grids at most 4 points — under the
+	// tiny cache limit, so one overlap wave can never evict itself.
+	usefulUniverse = []float64{4, 5, 6, 7, 8, 10, 12}
+)
+
+// nextNonce mints a request seed no grid in this run has used before;
+// the offset keeps it clear of the server default (0 means 1).
+func (w *world) nextNonce() uint64 {
+	w.nonce++
+	return 1000 + w.nonce
+}
+
+// pickDistinct draws n distinct values from universe, sorted.
+func pickDistinct(rng *rand.Rand, universe []float64, n int) []float64 {
+	perm := rng.Perm(len(universe))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = universe[perm[i]]
+	}
+	sort.Float64s(vals)
+	return vals
+}
+
+// freshLight is a small, fast grid under a never-seen key: 1-4 points
+// of a short trace. The workhorse for strict-accounting actions.
+func (w *world) freshLight() grid {
+	return grid{
+		bench:        chaosBenches[w.rng.Intn(len(chaosBenches))],
+		useful:       pickDistinct(w.rng, usefulUniverse, 1+w.rng.Intn(4)),
+		instructions: 2000 + 1000*w.rng.Intn(2),
+		seed:         w.nextNonce(),
+	}
+}
+
+// freshHeavy is a grid slow enough to still be mid-stream when a signal
+// or disconnect lands: full-length traces, 4-5 points.
+func (w *world) freshHeavy() grid {
+	n := 4 + w.rng.Intn(2)
+	start := 3 + w.rng.Intn(3)
+	useful := make([]float64, n)
+	for i := range useful {
+		useful[i] = float64(start + i)
+	}
+	return grid{
+		bench:        chaosBenches[w.rng.Intn(len(chaosBenches))],
+		useful:       useful,
+		instructions: 60000,
+		seed:         w.nextNonce(),
+	}
+}
+
+// freshContiguous is a fresh integer step-1 grid, the shape both request
+// forms can express.
+func (w *world) freshContiguous() grid {
+	g := w.freshHeavy()
+	g.instructions = 2000 + 1000*w.rng.Intn(2)
+	g.useful = g.useful[:2+w.rng.Intn(len(g.useful)-1)]
+	return g
+}
+
+// someGrid picks the next plain sweep: usually fresh, sometimes a replay
+// from history (which must then be served entirely from cache or disk).
+func (w *world) someGrid() grid {
+	if len(w.history) > 0 && w.rng.Intn(10) < 4 {
+		return w.history[w.rng.Intn(len(w.history))]
+	}
+	return w.freshLight()
+}
+
+// action is one entry of the weighted vocabulary.
+type action struct {
+	name   string
+	weight int
+	run    func(*world)
+}
+
+var actionTable = []action{
+	{"sweep", 4, actSweep},
+	{"overlap", 3, actOverlap},
+	{"mixed-forms", 2, actMixedForms},
+	{"disconnect", 3, actDisconnect},
+	{"slow-reader", 2, actSlowReader},
+	{"cache-pressure", 2, actCachePressure},
+	{"delta-sync", 2, actDeltaSync},
+	{"scrape", 2, actScrape},
+	{"bad-requests", 1, actBadRequests},
+	{"kill-restart", 2, actKillRestart},
+	{"kill-mid-stream", 2, actKillMidStream},
+	{"term-mid-stream", 2, actTermMidStream},
+}
+
+// pickAction draws the next action by weight from the run's rng.
+func pickAction(rng *rand.Rand) action {
+	total := 0
+	for _, a := range actionTable {
+		total += a.weight
+	}
+	n := rng.Intn(total)
+	for _, a := range actionTable {
+		n -= a.weight
+		if n < 0 {
+			return a
+		}
+	}
+	return actionTable[0] // unreachable
+}
+
+// sweepGrid runs one grid to completion against the current daemon and
+// folds the stream into the model. Returns the settled point count.
+func (w *world) sweepGrid(g grid, context string) int {
+	w.t.Helper()
+	resp, err := w.postSweep(g.body())
+	if err != nil {
+		w.failf("%s: POST /sweep: %v", context, err)
+	}
+	sr := readSweep(resp, nil)
+	if sr.status == http.StatusOK {
+		w.admitted += int64(g.points())
+	}
+	n := w.absorb(sr, context)
+	if n != g.points() {
+		w.failf("%s: stream carried %d points, grid expands to %d", context, n, g.points())
+	}
+	w.recordHistory(g)
+	return n
+}
+
+// actSweep: one ordinary client, one grid (fresh or replayed).
+func actSweep(w *world) {
+	g := w.someGrid()
+	w.trace("  grid: %s", g.desc())
+	w.sweepGrid(g, "sweep "+g.desc())
+}
+
+// actOverlap: N clients race one fresh grid. The strict overlap oracle —
+// the whole wave costs exactly points simulations; everything else must
+// be a hit (cache or singleflight join, the accounting treats both as
+// hits) and nothing may drop.
+func actOverlap(w *world) {
+	st0 := w.quiesce()
+	g := w.freshLight()
+	n := 2 + w.rng.Intn(3)
+	w.trace("  grid: %s, %d clients", g.desc(), n)
+	results := make(chan streamRead, n)
+	body := g.body()
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, err := w.client.Post(w.d.URL+"/sweep", "application/json", strings.NewReader(body))
+			if err != nil {
+				results <- streamRead{err: err}
+				return
+			}
+			results <- readSweep(resp, nil)
+		}()
+	}
+	for i := 0; i < n; i++ {
+		sr := <-results
+		if sr.status == http.StatusOK {
+			w.admitted += int64(g.points())
+		}
+		if got := w.absorb(sr, fmt.Sprintf("overlap client of %s", g.desc())); got != g.points() {
+			w.failf("overlap client streamed %d points, want %d", got, g.points())
+		}
+	}
+	w.recordHistory(g)
+
+	st1 := w.quiesce()
+	p := int64(g.points())
+	if miss := st1.CacheMisses - st0.CacheMisses; miss != p {
+		w.failf("overlap: %d clients on a fresh %d-point grid cost %d simulations, want exactly %d", n, p, miss, p)
+	}
+	if hits := st1.CacheHits - st0.CacheHits; hits != int64(n-1)*p {
+		w.failf("overlap: hit delta %d, want (clients-1)*points = %d", hits, int64(n-1)*p)
+	}
+	if done := st1.PointsDone - st0.PointsDone; done != p {
+		w.failf("overlap: points_done delta %d, want %d", done, p)
+	}
+	if st1.PointsDropped != st0.PointsDropped {
+		w.failf("overlap: %d points dropped with no disconnects in play", st1.PointsDropped-st0.PointsDropped)
+	}
+}
+
+// actMixedForms: the same fresh contiguous grid raced as an explicit
+// list by one client and as useful_min/max by another. The two forms
+// must expand to identical keys and byte-identical lines; strictly one
+// form's worth of simulations happens.
+func actMixedForms(w *world) {
+	st0 := w.quiesce()
+	g := w.freshContiguous()
+	w.trace("  grid: %s (list vs range)", g.desc())
+	list, rng := g, g
+	list.asRange, rng.asRange = false, true
+	results := make(chan streamRead, 2)
+	for _, body := range []string{list.body(), rng.body()} {
+		body := body
+		go func() {
+			resp, err := w.client.Post(w.d.URL+"/sweep", "application/json", strings.NewReader(body))
+			if err != nil {
+				results <- streamRead{err: err}
+				return
+			}
+			results <- readSweep(resp, nil)
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		sr := <-results
+		if sr.status == http.StatusOK {
+			w.admitted += int64(g.points())
+		}
+		if got := w.absorb(sr, "mixed-forms client of "+g.desc()); got != g.points() {
+			w.failf("mixed-forms client streamed %d points, want %d (forms expanded differently?)", got, g.points())
+		}
+	}
+	w.recordHistory(list)
+
+	st1 := w.quiesce()
+	p := int64(g.points())
+	if miss := st1.CacheMisses - st0.CacheMisses; miss != p {
+		w.failf("mixed-forms: list+range of one grid cost %d simulations, want %d — the forms expanded to different keys", miss, p)
+	}
+	if hits := st1.CacheHits - st0.CacheHits; hits != p {
+		w.failf("mixed-forms: hit delta %d, want %d", hits, p)
+	}
+}
+
+// actDisconnect: a client opens a heavy sweep, reads at most one line,
+// and hangs up. The leaked-work oracle is the post-action quiesce: the
+// queue and inflight gauges must return to zero and every admitted
+// point must still be classified into exactly one outcome.
+func actDisconnect(w *world) {
+	g := w.freshHeavy()
+	w.trace("  grid: %s", g.desc())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.d.URL+"/sweep", strings.NewReader(g.body()))
+	if err != nil {
+		w.failf("disconnect: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		w.failf("disconnect: POST /sweep: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		w.failf("disconnect: status %d, want 200", resp.StatusCode)
+	}
+	w.admitted += int64(g.points()) // admission precedes the 200 header; hanging up doesn't un-admit
+
+	// Read until the first point line (so the stream is truly live),
+	// fold it into the byte-identity model, then vanish.
+	done := make(chan streamRead, 1)
+	first := make(chan struct{}, 1)
+	go func() { done <- readSweep(resp, func() { first <- struct{}{} }) }()
+	<-first
+	cancel()
+	sr := <-done
+	// The stream may have torn anywhere — or even completed, if the
+	// daemon outran the cancel. Whatever arrived must match the model.
+	w.learnLines(sr.lines, "disconnect partial stream of "+g.desc())
+	// The run-loop quiesce after this action proves nothing leaked.
+}
+
+// slowBody throttles a response body: every read stalls, then takes at
+// most a few dozen bytes, so the client drains a stream over hundreds of
+// milliseconds that the daemon produced in a handful.
+type slowBody struct {
+	rc    io.ReadCloser
+	delay time.Duration
+}
+
+func (s slowBody) Read(p []byte) (int, error) {
+	time.Sleep(s.delay)
+	if len(p) > 64 {
+		p = p[:64]
+	}
+	return s.rc.Read(p)
+}
+
+func (s slowBody) Close() error { return s.rc.Close() }
+
+// actSlowReader: one client consumes a light grid a few dozen bytes at a
+// time with stalls between reads, holding the stream (and the daemon's
+// write path) open far longer than the simulation takes.
+func actSlowReader(w *world) {
+	g := w.freshLight()
+	stall := time.Duration(2+w.rng.Intn(8)) * time.Millisecond
+	w.trace("  grid: %s, stall %v", g.desc(), stall)
+	resp, err := w.postSweep(g.body())
+	if err != nil {
+		w.failf("slow-reader: POST /sweep: %v", err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		w.admitted += int64(g.points())
+	}
+	resp.Body = slowBody{rc: resp.Body, delay: stall}
+	if got := w.absorb(readSweep(resp, nil), "slow-reader "+g.desc()); got != g.points() {
+		w.failf("slow-reader streamed %d points, want %d", got, g.points())
+	}
+	w.recordHistory(g)
+}
+
+// actCachePressure: flood the tiny cache with more fresh points than it
+// holds, forcing evictions, then replay the first wave. With a durable
+// store an evicted point must come back from disk — zero re-simulation —
+// and the LRU must have actually evicted.
+func actCachePressure(w *world) {
+	st0 := w.quiesce()
+	waves := make([]grid, 3)
+	for i := range waves {
+		g := w.freshLight()
+		// Pad every wave to 3+ points so three waves always overflow the
+		// 8-entry cache.
+		for g.points() < 3 {
+			g = w.freshLight()
+		}
+		waves[i] = g
+		w.trace("  wave %d: %s", i, g.desc())
+		w.sweepGrid(g, fmt.Sprintf("cache-pressure wave %d (%s)", i, g.desc()))
+	}
+	st1 := w.quiesce()
+	if st1.CacheEvictions == st0.CacheEvictions {
+		var total int
+		for _, g := range waves {
+			total += g.points()
+		}
+		w.failf("cache-pressure: %d fresh points through a %d-entry cache evicted nothing", total, tinyCache)
+	}
+
+	// Replay the (likely evicted) first wave: the durable store must
+	// serve every point without re-simulating.
+	g := waves[0]
+	w.sweepGrid(g, "cache-pressure replay of "+g.desc())
+	st2 := w.quiesce()
+	if miss := st2.CacheMisses - st1.CacheMisses; miss != 0 {
+		w.failf("cache-pressure: replaying an evicted grid re-simulated %d points; the durable store should have served them", miss)
+	}
+	if hits := st2.CacheHits - st1.CacheHits; hits != int64(g.points()) {
+		w.failf("cache-pressure: replay hit delta %d, want %d", hits, g.points())
+	}
+}
+
+// deltaRecord is one parsed GET /results line.
+type deltaRecord struct {
+	Cursor  uint64          `json:"cursor"`
+	Result  json.RawMessage `json:"result"`
+	Done    bool            `json:"done"`
+	Records int             `json:"records"`
+}
+
+// actDeltaSync: pull everything appended since our cursor, exactly the
+// way a replica would, and resume from the trailer. Records must be
+// cursor-ordered, byte-identical to any line we already hold, and the
+// trailer cursor must land on the store's high-water mark.
+func actDeltaSync(w *world) {
+	st := w.quiesce()
+	w.trace("  since=%d store_cursor=%d", w.cursor, st.StoreCursor)
+	resp, err := w.client.Get(w.d.URL + "/results?since=" + strconv.FormatUint(w.cursor, 10))
+	if err != nil {
+		w.failf("delta-sync: GET /results: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.failf("delta-sync: status %d, want 200 (durable store is configured)", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	prev := w.cursor
+	records := 0
+	lines := map[string]string{}
+	var trailer *deltaRecord
+	for dec.More() {
+		var d deltaRecord
+		if err := dec.Decode(&d); err != nil {
+			w.failf("delta-sync: bad line after cursor %d: %v", prev, err)
+		}
+		if d.Done {
+			trailer = &d
+			break
+		}
+		if d.Cursor <= prev {
+			w.failf("delta-sync: cursor went %d -> %d; pulls must be strictly ordered", prev, d.Cursor)
+		}
+		prev = d.Cursor
+		records++
+		var probe struct {
+			Key string `json:"key"`
+		}
+		if err := json.Unmarshal(d.Result, &probe); err != nil || probe.Key == "" {
+			w.failf("delta-sync: record %d carries an unparsable result %q", d.Cursor, d.Result)
+		}
+		lines[probe.Key] = string(d.Result)
+	}
+	if trailer == nil {
+		w.failf("delta-sync: stream ended without the done trailer")
+	}
+	if trailer.Records != records {
+		w.failf("delta-sync: trailer claims %d records, stream carried %d", trailer.Records, records)
+	}
+	if trailer.Cursor != prev {
+		w.failf("delta-sync: trailer cursor %d, last record cursor %d", trailer.Cursor, prev)
+	}
+	if trailer.Cursor != st.StoreCursor {
+		w.failf("delta-sync: pulled to cursor %d but the quiesced store high-water mark is %d", trailer.Cursor, st.StoreCursor)
+	}
+	// Delta lines may include results whose streams we tore mid-read —
+	// keys the model has never seen. Known keys must match exactly.
+	w.learnLines(lines, "delta-sync pull")
+	w.cursor = trailer.Cursor
+}
+
+// actScrape: the observability surfaces under load — /metrics must lint
+// clean and agree counter-for-counter with /stats, /healthz must be 200.
+func actScrape(w *world) {
+	st := w.quiesce()
+	w.metricsAgree(st)
+	resp, err := w.client.Get(w.d.URL + "/healthz")
+	if err != nil {
+		w.failf("scrape: GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.failf("scrape: /healthz status %d", resp.StatusCode)
+	}
+}
+
+// actBadRequests: hostile inputs must bounce with 400, be counted as
+// rejections, and admit nothing (the run-loop conservation check would
+// catch a half-admitted grid).
+func actBadRequests(w *world) {
+	st0 := w.quiesce()
+	badSweeps := []string{
+		`{"useful":[6],`,         // truncated JSON
+		`{"useful":[6],"wat":1}`, // unknown field
+		`{}`,                     // empty grid
+		`{"useful":[6],"benchmarks":["notabench"],"instructions":2000}`,              // unknown benchmark
+		`{"useful":[-1],"benchmarks":["gcc"],"instructions":2000}`,                   // invalid depth
+		`{"useful_min":2,"useful_max":16,"useful_step":5e-324,"benchmarks":["gcc"]}`, // range expands past any limit
+	}
+	for _, body := range badSweeps {
+		resp, err := w.postSweep(body)
+		if err != nil {
+			w.failf("bad-requests: POST: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			w.failf("bad-requests: body %q got status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := w.client.Get(w.d.URL + "/results?since=banana")
+	if err != nil {
+		w.failf("bad-requests: GET /results: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		w.failf("bad-requests: /results?since=banana got status %d, want 400", resp.StatusCode)
+	}
+	st1 := w.quiesce()
+	if delta := st1.Rejected - st0.Rejected; delta < int64(len(badSweeps)) {
+		w.failf("bad-requests: %d hostile sweeps but requests_rejected only moved by %d", len(badSweeps), delta)
+	}
+}
+
+// actKillRestart: SIGKILL a quiesced daemon, restart it over the same
+// store, and replay history. The warm-start contract: every previously
+// completed point is served with zero re-simulation.
+func actKillRestart(w *world) {
+	w.trace("  SIGKILL + warm restart, %d history grids", len(w.history))
+	w.d.Kill()
+	w.start()
+	if len(w.history) == 0 {
+		return
+	}
+	replay := 1 + w.rng.Intn(3)
+	if replay > len(w.history) {
+		replay = len(w.history)
+	}
+	var total int64
+	for i := 0; i < replay; i++ {
+		g := w.history[w.rng.Intn(len(w.history))]
+		w.sweepGrid(g, "warm replay of "+g.desc())
+		total += int64(g.points())
+	}
+	st := w.quiesce()
+	if st.CacheMisses != 0 {
+		w.failf("warm restart re-simulated %d points; the durable store held the whole history", st.CacheMisses)
+	}
+	if st.CacheHits != total {
+		w.failf("warm restart: %d hits for %d replayed points", st.CacheHits, total)
+	}
+}
+
+// actKillMidStream: SIGKILL the daemon while a heavy stream is live. The
+// durability oracle: the store write happens before a line is streamed,
+// so every line the client received must survive the crash — replaying
+// the grid after restart may re-simulate at most the points we never saw.
+func actKillMidStream(w *world) {
+	g := w.freshHeavy()
+	w.trace("  grid: %s", g.desc())
+	resp, err := w.postSweep(g.body())
+	if err != nil {
+		w.failf("kill-mid-stream: POST /sweep: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		w.failf("kill-mid-stream: status %d, want 200", resp.StatusCode)
+	}
+	done := make(chan streamRead, 1)
+	first := make(chan struct{}, 1)
+	go func() { done <- readSweep(resp, func() { first <- struct{}{} }) }()
+	<-first
+	w.d.Kill()
+	sr := <-done // torn stream expected; whatever arrived is model truth
+	w.learnLines(sr.lines, "kill-mid-stream partial stream of "+g.desc())
+	received := len(sr.lines)
+
+	w.start()
+	w.sweepGrid(g, "post-crash replay of "+g.desc())
+	st := w.quiesce()
+	if lost := st.CacheMisses - int64(g.points()-received); lost > 0 {
+		w.failf("kill-mid-stream: client saw %d lines before SIGKILL but replay re-simulated %d of %d points — %d durable results lost",
+			received, st.CacheMisses, g.points(), lost)
+	}
+}
+
+// actTermMidStream: SIGTERM the daemon while a heavy stream is live. The
+// drain contract: the in-flight stream runs to completion — trailer and
+// all — and the process exits 0.
+func actTermMidStream(w *world) {
+	g := w.freshHeavy()
+	w.trace("  grid: %s", g.desc())
+	resp, err := w.postSweep(g.body())
+	if err != nil {
+		w.failf("term-mid-stream: POST /sweep: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		w.failf("term-mid-stream: status %d, want 200", resp.StatusCode)
+	}
+	done := make(chan streamRead, 1)
+	first := make(chan struct{}, 1)
+	go func() { done <- readSweep(resp, func() { first <- struct{}{} }) }()
+	<-first
+	code, err := w.d.Shutdown()
+	if err != nil {
+		w.failf("term-mid-stream: SIGTERM wait: %v", err)
+	}
+	if code != 0 {
+		w.failf("term-mid-stream: exit code %d with a stream in flight, want 0", code)
+	}
+	sr := <-done
+	if sr.err != nil || !sr.done {
+		w.failf("term-mid-stream: the draining daemon tore the stream (err=%v done=%v) — SIGTERM must complete in-flight responses", sr.err, sr.done)
+	}
+	if len(sr.lines) != g.points() {
+		w.failf("term-mid-stream: drained stream carried %d points, want %d", len(sr.lines), g.points())
+	}
+	w.learnLines(sr.lines, "term-mid-stream drained stream of "+g.desc())
+	w.recordHistory(g)
+	w.start()
+}

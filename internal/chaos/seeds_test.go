@@ -1,0 +1,52 @@
+package chaos
+
+// Regression seeds: every seed that ever exposed a serving-path bug is
+// pinned in regression_seeds.json and replayed forever. When a chaos
+// failure reproduces, add its {seed, actions} pair here in the same PR
+// as the fix — the harness is deterministic, so the entry is a permanent
+// regression test that costs one JSON line.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// regressionSeed is one pinned replay configuration.
+type regressionSeed struct {
+	Seed    uint64 `json:"seed"`
+	Actions int    `json:"actions"`
+	// Note says what the seed originally caught, for the reader only.
+	Note string `json:"note,omitempty"`
+}
+
+func loadRegressionSeeds(t *testing.T) []regressionSeed {
+	t.Helper()
+	raw, err := os.ReadFile("regression_seeds.json")
+	if err != nil {
+		t.Fatalf("chaos: reading regression seeds: %v", err)
+	}
+	var seeds []regressionSeed
+	if err := json.Unmarshal(raw, &seeds); err != nil {
+		t.Fatalf("chaos: regression_seeds.json is not a JSON list of {seed, actions}: %v", err)
+	}
+	for i, s := range seeds {
+		if s.Actions <= 0 {
+			t.Fatalf("chaos: regression seed %d has no action budget: %+v", i, s)
+		}
+	}
+	return seeds
+}
+
+// TestRegressionSeeds replays every pinned seed. Runs are deterministic
+// per seed, so a pass here means the exact action sequences that once
+// found bugs still pass against the current daemon.
+func TestRegressionSeeds(t *testing.T) {
+	for _, s := range loadRegressionSeeds(t) {
+		s := s
+		t.Run(fmt.Sprintf("seed%d_actions%d", s.Seed, s.Actions), func(t *testing.T) {
+			runChaos(t, s.Seed, s.Actions)
+		})
+	}
+}

@@ -1,7 +1,5 @@
-// Package clitest is the end-to-end harness for the cmd/ binaries: every
-// command is built once per test run, then driven through its real CLI —
-// pinned flags, golden stdout, exit codes — exactly as CI and a user
-// would run it. Goldens live under testdata/ and regenerate with
+// The e2e tests in this file drive every cmd/ binary through its real
+// CLI. Goldens live under testdata/ and regenerate with
 //
 //	go test ./internal/clitest -run Golden -update
 package clitest
@@ -39,10 +37,8 @@ func TestMain(m *testing.M) {
 	binDir = dir
 	// One build for all binaries; go's build cache makes this cheap when
 	// the tree hasn't changed.
-	build := exec.Command("go", "build", "-o", binDir+string(os.PathSeparator), "./cmd/...")
-	build.Dir = "../.."
-	if out, err := build.CombinedOutput(); err != nil {
-		fmt.Fprintf(os.Stderr, "clitest: building cmd/...: %v\n%s", err, out)
+	if err := BuildCmds("../..", binDir); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.RemoveAll(binDir)
 		os.Exit(1)
 	}

@@ -6,11 +6,11 @@ import (
 	"io"
 	"net/http"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"testing"
-	"time"
 
 	"repro/internal/obs/promtext"
 )
@@ -23,52 +23,24 @@ func startSweepd(t *testing.T, extra ...string) (*exec.Cmd, string) {
 }
 
 // startSweepdDebug is startSweepd plus the resolved -debug-addr base URL
-// (empty unless the flags ask for a debug listener). The debug readiness
-// line prints before the main one, so both are captured in one scan.
+// (empty unless the flags ask for a debug listener). Startup is the
+// shared harness contract: stderr appends to a per-test log file and
+// readiness is deadline-bounded polling of that file, so a wedged or
+// crashed daemon fails the test with its log tail instead of hanging
+// the suite.
 func startSweepdDebug(t *testing.T, extra ...string) (*exec.Cmd, string, string) {
 	t.Helper()
 	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "1"}, extra...)
-	cmd := exec.Command(bin("sweepd"), args...)
-	stderr, err := cmd.StderrPipe()
+	d, err := StartDaemon(bin("sweepd"), filepath.Join(t.TempDir(), "sweepd.log"), DefaultWait, args...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
 	t.Cleanup(func() {
-		if cmd.ProcessState == nil {
-			cmd.Process.Kill()
-			cmd.Wait()
+		if d.Running() {
+			d.Kill()
 		}
 	})
-
-	// The first stderr lines are "sweepd: debug listening on <addr>"
-	// (only with -debug-addr) then "sweepd: listening on <addr>"; a
-	// watchdog kills the process if the main readiness line never
-	// appears so the read cannot hang.
-	watchdog := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
-	defer watchdog.Stop()
-	var debugURL string
-	sc := bufio.NewScanner(stderr)
-	for sc.Scan() {
-		line := sc.Text()
-		if addr, ok := strings.CutPrefix(line, "sweepd: debug listening on "); ok {
-			debugURL = "http://" + strings.TrimSpace(addr)
-			continue
-		}
-		if addr, ok := strings.CutPrefix(line, "sweepd: listening on "); ok {
-			// Keep draining stderr in the background so the daemon never
-			// blocks on a full pipe.
-			go func() {
-				for sc.Scan() {
-				}
-			}()
-			return cmd, "http://" + strings.TrimSpace(addr), debugURL
-		}
-	}
-	t.Fatalf("sweepd exited before its readiness line (scan err: %v)", sc.Err())
-	return nil, "", ""
+	return d.Cmd, d.URL, d.DebugURL
 }
 
 func TestSweepdEndToEnd(t *testing.T) {

@@ -11,7 +11,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
-	"time"
+
+	"repro/internal/clitest"
 )
 
 // newTestServer starts a Server over httptest and tears both down with
@@ -251,7 +252,6 @@ func TestConcurrentClientsShareWork(t *testing.T) {
 func TestDisconnectDropsQueuedPoints(t *testing.T) {
 	const heavyPoints, abandonedPoints = 2, 3
 	srv, ts := newTestServer(t, Config{Workers: 1})
-	deadline := time.Now().Add(30 * time.Second)
 
 	// A heavy request keeps the single worker busy...
 	type streamResult struct {
@@ -271,14 +271,10 @@ func TestDisconnectDropsQueuedPoints(t *testing.T) {
 	}()
 
 	// ...wait until its batch is actually running...
-	for {
-		if st := srv.StatsSnapshot(); st.RunningPoints > 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("heavy batch never started")
-		}
-		time.Sleep(200 * time.Microsecond)
+	if !clitest.WaitUntil(clitest.DefaultWait, func() bool {
+		return srv.StatsSnapshot().RunningPoints > 0
+	}) {
+		t.Fatal("heavy batch never started")
 	}
 
 	// ...then queue a second grid behind it and hang up without reading a
@@ -300,15 +296,11 @@ func TestDisconnectDropsQueuedPoints(t *testing.T) {
 		}
 		abandoned <- resp
 	}()
-	for {
+	if !clitest.WaitUntil(clitest.DefaultWait, func() bool {
 		st := srv.StatsSnapshot()
-		if st.QueueDepth+st.RunningPoints >= heavyPoints+abandonedPoints {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("abandoned points never admitted: %+v", st)
-		}
-		time.Sleep(200 * time.Microsecond)
+		return st.QueueDepth+st.RunningPoints >= heavyPoints+abandonedPoints
+	}) {
+		t.Fatalf("abandoned points never admitted: %+v", srv.StatsSnapshot())
 	}
 	cancel()
 	if resp := <-abandoned; resp != nil {
@@ -321,24 +313,20 @@ func TestDisconnectDropsQueuedPoints(t *testing.T) {
 		t.Fatalf("heavy client got %d points, want %d", len(hr.lines), heavyPoints)
 	}
 	// The abandoned points must drain away without simulating.
-	for {
-		st := srv.StatsSnapshot()
-		if st.InflightPoints == 0 {
-			if st.PointsDropped != abandonedPoints {
-				t.Fatalf("points dropped = %d, want %d", st.PointsDropped, abandonedPoints)
-			}
-			if st.PointsDone != heavyPoints || st.CacheSize != heavyPoints {
-				t.Fatalf("abandoned points leaked into work or cache: %+v", st)
-			}
-			if st.Disconnects != 1 {
-				t.Fatalf("client disconnects = %d, want 1", st.Disconnects)
-			}
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("queued points leaked: %+v", st)
-		}
-		time.Sleep(time.Millisecond)
+	if !clitest.WaitUntil(clitest.DefaultWait, func() bool {
+		return srv.StatsSnapshot().InflightPoints == 0
+	}) {
+		t.Fatalf("queued points leaked: %+v", srv.StatsSnapshot())
+	}
+	st := srv.StatsSnapshot()
+	if st.PointsDropped != abandonedPoints {
+		t.Fatalf("points dropped = %d, want %d", st.PointsDropped, abandonedPoints)
+	}
+	if st.PointsDone != heavyPoints || st.CacheSize != heavyPoints {
+		t.Fatalf("abandoned points leaked into work or cache: %+v", st)
+	}
+	if st.Disconnects != 1 {
+		t.Fatalf("client disconnects = %d, want 1", st.Disconnects)
 	}
 }
 
